@@ -1,0 +1,1 @@
+bin/cqlopt.ml: Arg Cmd Cmdliner Cql_constr Cql_core Cql_datalog Cql_eval Cql_num Decidable Gmt List Magic Parser Pred_constraints Printf Program Qrp Rewrite Simplify String Term

@@ -1,0 +1,1 @@
+bin/cqlrepl.ml: Array Buffer Cql_constr Cql_core Cql_datalog Cql_eval List Option Parser Pred_constraints Printf Program Qrp Rewrite Rule String Sys

@@ -1,0 +1,239 @@
+(* cqlopt: command-line front end for the constraint-pushing optimizer.
+
+   Subcommands:
+     analyze  - infer predicate constraints and QRP constraints
+     rewrite  - apply a transformation pipeline and print the program
+     eval     - bottom-up evaluation of a program against an EDB file *)
+
+open Cql_datalog
+open Cql_core
+open Cmdliner
+
+let read_program path =
+  try Ok (Parser.program_of_file path) with
+  | Parser.Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let read_edb = function
+  | None -> Ok []
+  | Some path -> (
+      try
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let src = really_input_string ic n in
+        close_in ic;
+        Ok (List.map Cql_eval.Fact.of_fact_rule (Parser.facts_of_string src))
+      with
+      | Parser.Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+      | Sys_error msg -> Error msg)
+
+let program_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM" ~doc:"CQL program file")
+
+let max_iters_arg =
+  Arg.(value & opt int 50 & info [ "max-iters" ] ~docv:"N"
+         ~doc:"Iteration budget for the constraint-generation fixpoints")
+
+(* ----- analyze ----- *)
+
+let analyze_cmd =
+  let run path max_iters =
+    match read_program path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok p ->
+        let pres = Pred_constraints.gen ~max_iters p in
+        Printf.printf "Predicate constraints (converged=%b, %d iterations):\n"
+          pres.Pred_constraints.converged pres.Pred_constraints.iterations;
+        List.iter
+          (fun (pred, c) -> Printf.printf "  %-20s %s\n" pred (Cql_constr.Cset.to_string c))
+          pres.Pred_constraints.constraints;
+        (match p.Program.query with
+        | Some _ ->
+            let p1 = Pred_constraints.propagate pres p in
+            let qres = Qrp.gen ~max_iters p1 in
+            Printf.printf "QRP constraints after pred propagation (converged=%b, %d iterations):\n"
+              qres.Qrp.converged qres.Qrp.iterations;
+            List.iter
+              (fun (pred, c) -> Printf.printf "  %-20s %s\n" pred (Cql_constr.Cset.to_string c))
+              qres.Qrp.constraints
+        | None -> print_endline "No query predicate: skipping QRP constraints (#query p. sets one)");
+        Printf.printf "Decidable class (Theorem 5.1): %b\n" (Decidable.in_class p);
+        if Decidable.in_class p then
+          Printf.printf "  iteration bound: %s\n"
+            (Cql_num.Bigint.to_string (Decidable.iteration_bound p));
+        0
+  in
+  let term = Term.(const run $ program_arg $ max_iters_arg) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Infer minimum predicate constraints and QRP constraints for a program")
+    term
+
+(* ----- rewrite ----- *)
+
+let parse_steps adornment constraint_magic s =
+  let step_of = function
+    | "pred" -> Ok Rewrite.Pred
+    | "qrp" -> Ok Rewrite.Qrp
+    | "mg" | "magic" -> Ok (Rewrite.Magic { adornment; constraint_magic })
+    | "cmg" -> Ok (Rewrite.Magic { adornment; constraint_magic = true })
+    | "mg-complete" -> Ok Rewrite.Magic_complete
+    | other -> Error (Printf.sprintf "unknown step %S (use pred, qrp, mg, cmg, mg-complete)" other)
+  in
+  List.fold_left
+    (fun acc name ->
+      match (acc, step_of name) with
+      | Ok steps, Ok s -> Ok (steps @ [ s ])
+      | (Error _ as e), _ -> e
+      | _, (Error _ as e) -> e)
+    (Ok [])
+    (String.split_on_char ',' s)
+
+let rewrite_cmd =
+  let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify =
+    match read_program path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok p -> (
+        let adornment =
+          match (adornment, p.Program.query) with
+          | Some a, _ -> a
+          | None, Some q -> String.make (Program.arity p q) 'f'
+          | None, None -> ""
+        in
+        let result =
+          if gmt then
+            try Ok (Gmt.pipeline ~query_adornment:adornment p)
+            with Invalid_argument msg -> Error msg
+          else if optimal then
+            try Ok (fst (Rewrite.optimal ~max_iters ~adornment p))
+            with Invalid_argument msg -> Error msg
+          else
+            match parse_steps adornment (not no_cmagic) steps with
+            | Error msg -> Error msg
+            | Ok steps -> (
+                try Ok (fst (Rewrite.sequence ~max_iters steps p))
+                with Invalid_argument msg -> Error msg)
+        in
+        match result with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok p' ->
+            let p' = if inline_seed then Magic.inline_seed p' else p' in
+            let p' = if simplify then Simplify.program p' else p' in
+            print_endline (Program.to_string (Program.prettify p'));
+            0)
+  in
+  let steps =
+    Arg.(value & opt string "pred,qrp" & info [ "steps" ] ~docv:"STEPS"
+           ~doc:"Comma-separated pipeline: pred, qrp, mg, cmg, mg-complete")
+  in
+  let adornment =
+    Arg.(value & opt (some string) None & info [ "adornment" ] ~docv:"AD"
+           ~doc:"Query adornment for magic steps (default: all-free)")
+  in
+  let no_cmagic =
+    Arg.(value & flag & info [ "no-constraint-magic" ]
+           ~doc:"Drop constraints from magic rules (plain magic, rule mr1' of Section 1)")
+  in
+  let gmt = Arg.(value & flag & info [ "gmt" ] ~doc:"Run the GMT pipeline of Figure 2") in
+  let optimal =
+    Arg.(value & flag & info [ "optimal" ]
+           ~doc:"Run the optimal sequence pred,qrp,mg of Theorem 7.10")
+  in
+  let inline_seed =
+    Arg.(value & flag & info [ "inline-seed" ] ~doc:"Inline the all-free magic seed fact")
+  in
+  let simplify =
+    Arg.(value & flag & info [ "simplify" ]
+           ~doc:"Post-pass: drop redundant constraint atoms and subsumed rules")
+  in
+  let term =
+    Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
+          $ max_iters_arg $ inline_seed $ simplify)
+  in
+  Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a program by pushing constraint selections") term
+
+(* ----- eval ----- *)
+
+let eval_cmd =
+  let run path edb_path max_iterations max_derivations traced naive explain stratified =
+    match read_program path with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok p -> (
+        match read_edb edb_path with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok edb ->
+            let max_iterations = if max_iterations = 0 then None else Some max_iterations in
+            let max_derivations = if max_derivations = 0 then None else Some max_derivations in
+            let res =
+              if naive then Cql_eval.Engine.run_naive ?max_iterations ?max_derivations p ~edb
+              else if stratified then
+                Cql_eval.Engine.run_stratified ?max_iterations ?max_derivations p ~edb
+              else Cql_eval.Engine.run ?max_iterations ?max_derivations ~traced p ~edb
+            in
+            if traced then
+              List.iter
+                (fun (t : Cql_eval.Engine.trace_entry) ->
+                  Printf.printf "iter %-3d %-10s %s%s\n" t.Cql_eval.Engine.iteration
+                    t.Cql_eval.Engine.rule_label
+                    (Cql_eval.Fact.to_string t.Cql_eval.Engine.fact)
+                    (if t.Cql_eval.Engine.subsumed then "   [subsumed]" else ""))
+                (Cql_eval.Engine.trace res);
+            let s = Cql_eval.Engine.stats res in
+            Printf.printf
+              "iterations=%d derivations=%d facts=%d fixpoint=%b ground_only=%b\n"
+              s.Cql_eval.Engine.iterations s.Cql_eval.Engine.derivations
+              (Cql_eval.Engine.total_facts res) s.Cql_eval.Engine.reached_fixpoint
+              (Cql_eval.Engine.all_ground res);
+            (match p.Program.query with
+            | Some q ->
+                Printf.printf "answers (%s):\n" q;
+                List.iter
+                  (fun f ->
+                    Printf.printf "  %s\n" (Cql_eval.Fact.to_string f);
+                    if explain then
+                      match Cql_eval.Explain.tree res f with
+                      | Some t -> print_string (Cql_eval.Explain.to_string t)
+                      | None -> ())
+                  (Cql_eval.Engine.facts_of res q)
+            | None -> ());
+            0)
+  in
+  let edb =
+    Arg.(value & opt (some file) None & info [ "edb" ] ~docv:"FILE" ~doc:"EDB facts file")
+  in
+  let max_iterations =
+    Arg.(value & opt int 0 & info [ "max-iterations" ] ~docv:"N"
+           ~doc:"Stop after N iterations (0 = unlimited)")
+  in
+  let max_derivations =
+    Arg.(value & opt int 0 & info [ "max-derivations" ] ~docv:"N"
+           ~doc:"Stop after N derivations (0 = unlimited)")
+  in
+  let traced = Arg.(value & flag & info [ "trace" ] ~doc:"Print every derivation") in
+  let naive = Arg.(value & flag & info [ "naive" ] ~doc:"Naive instead of semi-naive") in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print a derivation tree for each answer")
+  in
+  let stratified =
+    Arg.(value & flag & info [ "stratified" ] ~doc:"Evaluate SCC by SCC (callees first)")
+  in
+  let term =
+    Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
+          $ explain $ stratified)
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
+
+let () =
+  let doc = "Pushing constraint selections: CQL program optimizer (Srivastava & Ramakrishnan)" in
+  let info = Cmd.info "cqlopt" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; eval_cmd ]))

@@ -1,0 +1,1 @@
+examples/confluence.ml: Cql_core Cql_datalog Cql_eval Engine Fact List Magic Parser Printf Program Rewrite String

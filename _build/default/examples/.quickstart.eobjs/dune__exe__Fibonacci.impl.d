@@ -1,0 +1,1 @@
+examples/fibonacci.ml: Atom Conj Cql_constr Cql_core Cql_datalog Cql_eval Cset Engine Fact Linexpr List Magic Parser Pred_constraints Printf Program Var

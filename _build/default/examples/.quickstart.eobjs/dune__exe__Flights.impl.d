@@ -1,0 +1,1 @@
+examples/flights.ml: Adorn Array Cql_constr Cql_core Cql_datalog Cql_eval Cql_num Engine Fact List Magic Parser Printf Program Qrp Rat Rewrite Sys Term

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cql_constr Cql_core Cql_datalog Cql_eval List Parser Printf Program Qrp String

@@ -1,0 +1,1 @@
+examples/scheduling.ml: Cql_constr Cql_core Cql_datalog Cql_eval Engine Fact List Parser Printf Program Qrp Rewrite

@@ -1,0 +1,74 @@
+(* Backward Fibonacci (Examples 1.2 and 4.4, Tables 1 and 2): ask for
+   which N the Fibonacci number is 5.
+
+   Magic Templates alone produces an evaluation that finds the answer but
+   never terminates (Table 1); propagating the predicate constraint
+   $2 >= 1 first makes the same evaluation terminate (Table 2).
+
+   Run with:  dune exec examples/fibonacci.exe *)
+
+open Cql_constr
+open Cql_datalog
+open Cql_eval
+open Cql_core
+
+let fib_src query_value =
+  Printf.sprintf
+    {|
+r1: fib(0, 1).
+r2: fib(1, 1).
+r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+?- fib(N, %d).
+|}
+    query_value
+
+let print_trace res =
+  List.iter
+    (fun (t : Engine.trace_entry) ->
+      Printf.printf "  iteration %-2d %-10s %s%s\n" t.Engine.iteration t.Engine.rule_label
+        (Fact.to_string t.Engine.fact)
+        (if t.Engine.subsumed then "   [subsumed, discarded]" else ""))
+    (Engine.trace res)
+
+let magic_of p = Magic.inline_seed (Magic.templates_complete p)
+
+(* $2 >= 1 is a predicate constraint for fib (not the minimum, Example 4.4) *)
+let push_fib_constraint p =
+  let cset = Cset.of_conj (Conj.of_list [ Atom.ge (Linexpr.var (Var.arg 2)) (Linexpr.of_int 1) ]) in
+  let res : Pred_constraints.result =
+    { Pred_constraints.constraints = [ ("fib", cset) ]; iterations = 1; converged = true }
+  in
+  Pred_constraints.propagate res p
+
+let () =
+  (* Table 1: Pfib^mg diverges *)
+  let p = Parser.program_of_string (fib_src 5) in
+  let pmg = magic_of p in
+  print_endline "P_fib^mg (Magic Templates with complete sips):";
+  print_endline (Program.to_string pmg);
+  print_endline "\nTable 1 -- derivations in a bottom-up evaluation of P_fib^mg";
+  print_endline "(capped at 8 iterations; the evaluation would not terminate):";
+  let res = Engine.run ~max_iterations:8 ~traced:true pmg ~edb:[] in
+  print_trace res;
+  Printf.printf "reached fixpoint: %b  (the answer fib(4,5) appears at iteration 7)\n"
+    (Engine.stats res).Engine.reached_fixpoint;
+
+  (* Table 2: propagate $2 >= 1 first, then magic; terminates *)
+  let pmg1 = magic_of (push_fib_constraint (Parser.program_of_string (fib_src 5))) in
+  print_endline "\nP_fib^mg_1 (predicate constraint $2 >= 1 pushed first):";
+  print_endline (Program.to_string pmg1);
+  print_endline "\nTable 2 -- derivations in a bottom-up evaluation of P_fib^mg_1:";
+  let res1 = Engine.run ~max_iterations:30 ~traced:true pmg1 ~edb:[] in
+  print_trace res1;
+  Printf.printf "reached fixpoint: %b after %d iterations, %d derivations\n"
+    (Engine.stats res1).Engine.reached_fixpoint (Engine.stats res1).Engine.iterations
+    (Engine.stats res1).Engine.derivations;
+
+  (* Example 4.4's second query: fib(N, 6) has no answer; the constrained
+     program terminates and says "no" *)
+  let pmg6 = magic_of (push_fib_constraint (Parser.program_of_string (fib_src 6))) in
+  let res6 = Engine.run ~max_iterations:40 pmg6 ~edb:[] in
+  let p6 = Parser.program_of_string (fib_src 6) in
+  Printf.printf "\n?- fib(N, 6): terminated=%b, answers=%d (no N has Fibonacci number 6)\n"
+    (Engine.stats res6).Engine.reached_fixpoint
+    (List.length (Engine.answers res6 p6))

@@ -1,0 +1,1 @@
+lib/constr/atom.ml: Cql_num Format Linexpr List Rat Stdlib

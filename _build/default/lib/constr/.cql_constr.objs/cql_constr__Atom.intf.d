@@ -1,0 +1,1 @@
+lib/constr/atom.mli: Cql_num Format Linexpr Var

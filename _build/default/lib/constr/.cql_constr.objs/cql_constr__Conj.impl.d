@@ -1,0 +1,1 @@
+lib/constr/conj.ml: Atom Cql_num Format Linexpr List Rat Simplex Var

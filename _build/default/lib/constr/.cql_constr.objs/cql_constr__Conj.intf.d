@@ -1,0 +1,1 @@
+lib/constr/conj.mli: Atom Cql_num Format Linexpr Var

@@ -1,0 +1,1 @@
+lib/constr/cset.ml: Atom Conj Format List Var

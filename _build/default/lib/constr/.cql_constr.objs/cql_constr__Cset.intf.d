@@ -1,0 +1,1 @@
+lib/constr/cset.mli: Conj Format Var

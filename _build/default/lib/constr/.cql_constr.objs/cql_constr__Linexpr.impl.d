@@ -1,0 +1,1 @@
+lib/constr/linexpr.ml: Bigint Cql_num Format List Rat Var

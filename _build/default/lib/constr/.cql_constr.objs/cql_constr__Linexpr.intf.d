@@ -1,0 +1,1 @@
+lib/constr/linexpr.mli: Cql_num Format Rat Var

@@ -1,0 +1,1 @@
+lib/constr/simplex.ml: Array Atom Cql_num Format Hashtbl Int Linexpr List Map Option Rat Var

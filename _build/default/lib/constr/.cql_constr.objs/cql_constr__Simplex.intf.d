@@ -1,0 +1,1 @@
+lib/constr/simplex.mli: Atom Cql_num Format Var

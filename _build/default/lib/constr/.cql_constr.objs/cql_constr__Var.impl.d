@@ -1,0 +1,1 @@
+lib/constr/var.ml: Format Hashtbl Map Printf Set Stdlib String

@@ -1,0 +1,1 @@
+lib/constr/var.mli: Format Map Set

@@ -1,0 +1,62 @@
+(** Single linear arithmetic constraints (Definition 2.1 of the paper).
+
+    An atom is a normalized comparison [e ⋈ 0] with [⋈ ∈ {≤, <, =}]; the
+    source forms [e1 ≥ e2] and [e1 > e2] are represented by negating the
+    expression.  Expressions are {!Linexpr.integerize}d on construction so
+    equal constraints have equal representations (for equalities the leading
+    coefficient is made positive). *)
+
+type op = Le | Lt | Eq
+
+type t = private { expr : Linexpr.t; op : op }
+(** The constraint [expr op 0]. *)
+
+(** {1 Construction} *)
+
+val make : Linexpr.t -> op -> t
+(** [make e op] is the normalized atom [e op 0]. *)
+
+val le : Linexpr.t -> Linexpr.t -> t
+(** [le e1 e2] is [e1 ≤ e2]. *)
+
+val lt : Linexpr.t -> Linexpr.t -> t
+val ge : Linexpr.t -> Linexpr.t -> t
+val gt : Linexpr.t -> Linexpr.t -> t
+val eq : Linexpr.t -> Linexpr.t -> t
+
+val tt : t
+(** A trivially true atom ([0 = 0]). *)
+
+val ff : t
+(** A trivially false atom ([0 < 0]). *)
+
+(** {1 Classification} *)
+
+val truth : t -> bool option
+(** [Some b] when the atom has no variables and evaluates to [b];
+    [None] otherwise. *)
+
+val vars : t -> Var.Set.t
+val mem : Var.t -> t -> bool
+
+(** {1 Logic} *)
+
+val negate : t -> t list
+(** The negation as a disjunction of atoms: [¬(e ≤ 0) = (-e < 0)],
+    [¬(e < 0) = (-e ≤ 0)], and [¬(e = 0) = (e < 0) ∨ (-e < 0)]. *)
+
+val eval_at : (Var.t -> Cql_num.Rat.t option) -> t -> bool option
+(** [eval_at env a] evaluates the atom when [env] supplies a value for every
+    variable; [None] when some variable is unvalued. *)
+
+(** {1 Substitution} *)
+
+val subst : Var.t -> Linexpr.t -> t -> t
+val rename : (Var.t -> Var.t) -> t -> t
+
+(** {1 Comparison and printing} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,175 @@
+open Cql_num
+
+type t = Atom.t list (* sorted by Atom.compare, no duplicates *)
+
+let tt : t = []
+let ff : t = [ Atom.ff ]
+
+let is_ff_syntactic c = match c with [ a ] -> Atom.equal a Atom.ff | _ -> false
+
+(* Normalize a raw atom list: evaluate variable-free atoms, sort, dedup;
+   any false atom collapses the whole conjunction to [ff]. *)
+let of_list atoms =
+  let exception False in
+  try
+    let kept =
+      List.filter
+        (fun a ->
+          match Atom.truth a with
+          | Some true -> false
+          | Some false -> raise False
+          | None -> true)
+        atoms
+    in
+    List.sort_uniq Atom.compare kept
+  with False -> ff
+
+let singleton a = of_list [ a ]
+let add a c = of_list (a :: c)
+let and_ a b = of_list (List.rev_append a b)
+let to_list c = c
+let is_tt c = c = []
+let size c = List.length c
+let vars c = List.fold_left (fun acc a -> Var.Set.union acc (Atom.vars a)) Var.Set.empty c
+
+(* ----- variable elimination ----- *)
+
+(* Eliminate [x] from a normalized conjunction.  If an equality mentions
+   [x], solve it for [x] and substitute; otherwise Fourier-Motzkin. *)
+let eliminate x (c : t) : t =
+  if is_ff_syntactic c then c
+  else
+    let mentions, rest = List.partition (Atom.mem x) c in
+    if mentions = [] then c
+    else
+      let eq_opt = List.find_opt (fun (a : Atom.t) -> a.Atom.op = Atom.Eq) mentions in
+      match eq_opt with
+      | Some eqa ->
+          (* expr = a*x + r = 0  =>  x = -r/a *)
+          let a = Linexpr.coeff x eqa.Atom.expr in
+          let r = Linexpr.sub eqa.Atom.expr (Linexpr.term a x) in
+          let repl = Linexpr.scale (Rat.neg (Rat.inv a)) r in
+          let others = List.filter (fun a' -> not (Atom.equal a' eqa)) mentions in
+          of_list (rest @ List.map (Atom.subst x repl) others)
+      | None ->
+          (* all atoms mentioning x are inequalities e op 0 with op in {Le,Lt} *)
+          let uppers, lowers =
+            List.partition
+              (fun (a : Atom.t) -> Rat.sign (Linexpr.coeff x a.Atom.expr) > 0)
+              mentions
+          in
+          (* upper: a*x + r op 0, a>0  =>  x op -r/a ; bound expr = -r/a
+             lower: a*x + r op 0, a<0  =>  x op' -r/a with op' flipped to >=/>,
+             i.e. -r/a op x. *)
+          let bound (a : Atom.t) =
+            let k = Linexpr.coeff x a.Atom.expr in
+            let r = Linexpr.sub a.Atom.expr (Linexpr.term k x) in
+            (Linexpr.scale (Rat.neg (Rat.inv k)) r, a.Atom.op)
+          in
+          let combined =
+            List.concat_map
+              (fun lo ->
+                let lo_e, lo_op = bound lo in
+                List.map
+                  (fun up ->
+                    let up_e, up_op = bound up in
+                    let op = if lo_op = Atom.Lt || up_op = Atom.Lt then Atom.Lt else Atom.Le in
+                    (* lower bound <= upper bound *)
+                    Atom.make (Linexpr.sub lo_e up_e) op)
+                  uppers)
+              lowers
+          in
+          of_list (rest @ combined)
+
+let project ~keep (c : t) : t =
+  let rec go c =
+    if is_ff_syntactic c then c
+    else
+      let to_elim = Var.Set.diff (vars c) keep in
+      if Var.Set.is_empty to_elim then c
+      else begin
+        (* heuristics: prefer a variable constrained by an equality (cheap
+           substitution), else the one minimizing the Fourier-Motzkin blowup *)
+        let with_eq =
+          Var.Set.filter
+            (fun x ->
+              List.exists (fun (a : Atom.t) -> a.Atom.op = Atom.Eq && Atom.mem x a) c)
+            to_elim
+        in
+        let x =
+          if not (Var.Set.is_empty with_eq) then Var.Set.min_elt with_eq
+          else
+            let cost x =
+              let pos, neg =
+                List.fold_left
+                  (fun (p, n) (a : Atom.t) ->
+                    let s = Rat.sign (Linexpr.coeff x a.Atom.expr) in
+                    if s > 0 then (p + 1, n) else if s < 0 then (p, n + 1) else (p, n))
+                  (0, 0) c
+              in
+              (pos * neg) - (pos + neg)
+            in
+            fst
+              (Var.Set.fold
+                 (fun x (best, bc) ->
+                   let cx = cost x in
+                   if cx < bc then (x, cx) else (best, bc))
+                 to_elim
+                 (Var.Set.min_elt to_elim, max_int))
+        in
+        go (eliminate x c)
+      end
+  in
+  go c
+
+(* satisfiability via the simplex backend (cross-checked against full
+   Fourier-Motzkin elimination by the property tests); projection remains
+   the eliminator's job *)
+let is_sat c = if is_ff_syntactic c then false else Simplex.is_sat c
+
+let eval_at env c =
+  let rec go = function
+    | [] -> Some true
+    | a :: rest -> (
+        match Atom.eval_at env a with
+        | Some true -> go rest
+        | Some false -> Some false
+        | None -> None)
+  in
+  go c
+
+let implies_atom c a =
+  List.for_all (fun na -> not (is_sat (add na c))) (Atom.negate a)
+
+let implies c d = List.for_all (implies_atom c) d
+let equiv c d = implies c d && implies d c
+
+let simplify c =
+  if not (is_sat c) then ff
+  else
+    (* drop atoms implied by the remaining ones; iterate front to back *)
+    let rec go acc = function
+      | [] -> List.rev acc
+      | a :: rest ->
+          let others = List.rev_append acc rest in
+          if implies_atom others a then go acc rest else go (a :: acc) rest
+    in
+    of_list (go [] c)
+
+let subst x repl c = of_list (List.map (Atom.subst x repl) c)
+let rename f c = of_list (List.map (Atom.rename f) c)
+
+let compare = List.compare Atom.compare
+let equal a b = compare a b = 0
+
+let pp fmt c =
+  match c with
+  | [] -> Format.pp_print_string fmt "true"
+  | atoms ->
+      if is_ff_syntactic c then Format.pp_print_string fmt "false"
+      else
+        Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+          Atom.pp fmt atoms
+
+let to_string c = Format.asprintf "%a" pp c

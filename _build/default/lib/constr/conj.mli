@@ -1,0 +1,83 @@
+(** Conjunctions of linear arithmetic atoms, with a complete decision
+    procedure for the linear fragment over the reals.
+
+    Satisfiability, projection (existential quantifier elimination) and
+    implication are decided exactly by Gaussian elimination on equalities
+    plus Fourier–Motzkin elimination on inequalities — the operations that
+    the paper's Theorems 4.2, 4.5 and 4.7 require to "be done exactly"
+    (citing Lassez–Maher [8] and Tarski [15]).
+
+    A conjunction is a sorted, duplicate-free list of atoms; trivially-true
+    atoms are dropped and a detected contradiction is represented by the
+    single atom {!Atom.ff}. *)
+
+type t
+
+(** {1 Construction} *)
+
+val tt : t
+(** The empty (true) conjunction. *)
+
+val ff : t
+(** A canonical unsatisfiable conjunction. *)
+
+val of_list : Atom.t list -> t
+val singleton : Atom.t -> t
+val add : Atom.t -> t -> t
+val and_ : t -> t -> t
+val to_list : t -> Atom.t list
+
+(** {1 Classification} *)
+
+val is_tt : t -> bool
+(** Syntactically empty (note: a satisfiable-everywhere conjunction that is
+    not syntactically empty exists only transiently; {!simplify} empties
+    it). *)
+
+val size : t -> int
+val vars : t -> Var.Set.t
+
+(** {1 Decision procedures} *)
+
+val is_sat : t -> bool
+(** Exact satisfiability over the reals. *)
+
+val project : keep:Var.Set.t -> t -> t
+(** [project ~keep c] is the strongest conjunction over [keep] implied by
+    [c]: existential elimination of all other variables (Gauss +
+    Fourier–Motzkin).  Unsatisfiability is preserved. *)
+
+val eliminate : Var.t -> t -> t
+(** Eliminate a single variable. *)
+
+val eval_at : (Var.t -> Cql_num.Rat.t option) -> t -> bool option
+(** Evaluate at a (partial) point: [Some b] when every atom evaluates. *)
+
+val implies_atom : t -> Atom.t -> bool
+(** [implies_atom c a] decides [c ⊨ a] by refutation. *)
+
+val implies : t -> t -> bool
+(** [implies c d] decides [c ⊨ d].  An unsatisfiable [c] implies
+    everything. *)
+
+val equiv : t -> t -> bool
+
+val simplify : t -> t
+(** Remove redundant atoms (atoms implied by the rest) and collapse
+    unsatisfiable conjunctions to {!ff}.  Semantics-preserving. *)
+
+(** {1 Substitution} *)
+
+val subst : Var.t -> Linexpr.t -> t -> t
+val rename : (Var.t -> Var.t) -> t -> t
+
+(** {1 Comparison and printing} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+(** Structural equality of the canonical form (implies logical
+    equivalence of the atom sets, but two equivalent conjunctions may
+    differ structurally unless simplified). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,46 @@
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+let counter = ref 0
+
+let mk name =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+      incr counter;
+      let v = { id = !counter; name } in
+      Hashtbl.add table name v;
+      v
+
+(* Fresh variables are NOT interned: the evaluation engine creates them per
+   candidate derivation, and interning would retain them all in [table] for
+   the life of the process.  The counter keeps their names unique among
+   fresh variables; primes keep the names parseable by the CQL lexer. *)
+let fresh base =
+  incr counter;
+  { id = !counter; name = Printf.sprintf "%s'%d" base !counter }
+
+let arg i =
+  if i < 1 then invalid_arg "Var.arg: positions are 1-based";
+  mk (Printf.sprintf "$%d" i)
+
+let arg_index v =
+  let n = v.name in
+  if String.length n >= 2 && n.[0] = '$' then int_of_string_opt (String.sub n 1 (String.length n - 1))
+  else None
+
+let name v = v.name
+let id v = v.id
+let compare a b = Stdlib.compare a.id b.id
+let equal a b = a.id = b.id
+let hash v = v.id
+let pp fmt v = Format.pp_print_string fmt v.name
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

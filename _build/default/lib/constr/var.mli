@@ -1,0 +1,36 @@
+(** Interned constraint variables.
+
+    Variables are identified by name: [mk "X"] always returns the same
+    variable.  {!fresh} generates globally-unique names (used when renaming
+    rules apart or when normalizing argument expressions), and {!arg} makes
+    the canonical argument-position variables [$1], [$2], … that predicate
+    constraints and QRP constraints are expressed over (Section 2 of the
+    paper). *)
+
+type t
+
+val mk : string -> t
+(** Intern a variable by name. *)
+
+val fresh : string -> t
+(** [fresh base] is a new variable whose name starts with [base] and is
+    distinct from every variable interned so far. *)
+
+val arg : int -> t
+(** [arg i] is the canonical variable [$i] for argument position [i]
+    (1-based).
+    @raise Invalid_argument when [i < 1]. *)
+
+val arg_index : t -> int option
+(** [arg_index v] is [Some i] when [v] is the canonical variable [$i]. *)
+
+val name : t -> string
+val id : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,1 @@
+lib/core/adorn.ml: Atom Conj Cql_constr Cql_datalog Hashtbl List Literal Program Rule String Term Var

@@ -1,0 +1,1 @@
+lib/core/adorn.mli: Cql_constr Cql_datalog Literal Program

@@ -1,0 +1,1 @@
+lib/core/decidable.ml: Atom Bigint Conj Cql_constr Cql_datalog Cql_num Linexpr List Program Rat Rule

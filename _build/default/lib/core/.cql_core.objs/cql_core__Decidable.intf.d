@@ -1,0 +1,1 @@
+lib/core/decidable.mli: Bigint Cql_constr Cql_datalog Cql_num Program

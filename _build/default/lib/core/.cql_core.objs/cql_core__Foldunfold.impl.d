@@ -1,0 +1,1 @@
+lib/core/foldunfold.ml: Conj Cql_constr Cql_datalog Cset List Literal Printf Ptol_ltop Rule Subst

@@ -1,0 +1,1 @@
+lib/core/foldunfold.mli: Cql_constr Cql_datalog Cset Literal Rule

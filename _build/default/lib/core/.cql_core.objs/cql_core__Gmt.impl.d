@@ -1,0 +1,1 @@
+lib/core/gmt.ml: Atom Conj Cql_constr Cql_datalog Depgraph Foldunfold Hashtbl List Literal Magic Printf Program Rule String Subst Term Var

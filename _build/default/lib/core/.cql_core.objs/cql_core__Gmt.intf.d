@@ -1,0 +1,1 @@
+lib/core/gmt.mli: Conj Cql_constr Cql_datalog Depgraph Literal Program Rule Var

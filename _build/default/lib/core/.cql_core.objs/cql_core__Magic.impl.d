@@ -1,0 +1,1 @@
+lib/core/magic.ml: Adorn Conj Cql_constr Cql_datalog List Literal Printf Program Rule String Var

@@ -1,0 +1,1 @@
+lib/core/magic.mli: Cql_datalog Literal Program

@@ -1,0 +1,1 @@
+lib/core/pred_constraints.ml: Conj Cql_constr Cql_datalog Cset List Literal Map Printf Program Ptol_ltop Rule String

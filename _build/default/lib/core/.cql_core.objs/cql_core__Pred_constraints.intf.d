@@ -1,0 +1,1 @@
+lib/core/pred_constraints.mli: Cql_constr Cql_datalog Cset Program

@@ -1,0 +1,1 @@
+lib/core/ptol_ltop.ml: Atom Conj Cql_constr Cql_datalog Cset Linexpr List Literal Term Var

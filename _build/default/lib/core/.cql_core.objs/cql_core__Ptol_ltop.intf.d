@@ -1,0 +1,1 @@
+lib/core/ptol_ltop.mli: Conj Cql_constr Cql_datalog Cset Literal

@@ -1,0 +1,1 @@
+lib/core/qrp.ml: Adorn Atom Conj Cql_constr Cql_datalog Cset Foldunfold List Literal Map Printf Program Ptol_ltop Rule String Var

@@ -1,0 +1,1 @@
+lib/core/qrp.mli: Conj Cql_constr Cql_datalog Cset Literal Program

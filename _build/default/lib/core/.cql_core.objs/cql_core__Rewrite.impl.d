@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Adorn Cql_constr Cql_datalog List Literal Magic Pred_constraints Program Qrp Rule

@@ -1,0 +1,1 @@
+lib/core/rewrite.mli: Cql_constr Cql_datalog Cset Pred_constraints Program Qrp

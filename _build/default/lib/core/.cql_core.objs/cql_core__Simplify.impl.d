@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Conj Cql_constr Cql_datalog List Literal Program Rule Subst Term Var

@@ -1,0 +1,1 @@
+lib/core/simplify.mli: Cql_datalog Program Rule

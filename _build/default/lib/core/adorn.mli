@@ -1,0 +1,37 @@
+(** Adornments and sideways information passing (Appendix B).
+
+    An adornment is a string over ['b']/['f'] (bound/free), one character
+    per argument position.  We implement full left-to-right sips with the
+    bound-if-ground rule: an argument of a body literal is bound iff it is a
+    constant or its variable is ground given the head's bound arguments, the
+    literals to its left, and the rule's equality constraints (the closure
+    of {!Cql_datalog.Rule.grounded_vars}).  Derived predicates are renamed
+    [p_<adornment>]; database predicates are left alone. *)
+
+open Cql_datalog
+
+type adornment = string
+
+val adorned_name : string -> adornment -> string
+(** [adorned_name "p" "bf"] is ["p_bf"]. *)
+
+val split_adorned : string -> (string * adornment) option
+(** Inverse of {!adorned_name} (recognizes a trailing [_b*f*] chunk). *)
+
+val all_free : int -> adornment
+val all_bound : int -> adornment
+
+val bound_args : adornment -> 'a list -> 'a list
+(** Keep the arguments at bound positions.
+    @raise Invalid_argument on length mismatch. *)
+
+val literal_adornment : bound:Cql_constr.Var.Set.t -> Literal.t -> adornment
+(** Adornment of a body literal given the currently-ground variables. *)
+
+val program : query_adornment:adornment -> Program.t -> Program.t
+(** Adorn a program for its query predicate queried with the given
+    adornment, producing only the (pred, adornment) versions reachable from
+    the query (Definition B.2).  The result's query predicate is the
+    adorned query name.
+    @raise Invalid_argument when no query predicate is set or the adornment
+    length does not match the query predicate's arity. *)

@@ -1,0 +1,32 @@
+open Cql_num
+open Cql_constr
+open Cql_datalog
+
+let atom_in_class (a : Atom.t) =
+  match a.Atom.op with
+  | Atom.Eq -> false
+  | Atom.Le | Atom.Lt -> (
+      (* normalized atoms: X op c is (±1)·X + c' op 0; X op Y is X - Y op 0 *)
+      match Linexpr.terms a.Atom.expr with
+      | [ (_, k) ] -> Rat.equal (Rat.abs k) Rat.one
+      | [ (_, k1); (_, k2) ] ->
+          Rat.is_zero (Linexpr.constant a.Atom.expr)
+          && Rat.equal (Rat.abs k1) Rat.one
+          && Rat.equal (Rat.abs k2) Rat.one
+          && Rat.sign k1 <> Rat.sign k2
+      | _ -> false)
+
+let in_class (p : Program.t) =
+  List.for_all
+    (fun (r : Rule.t) -> List.for_all atom_in_class (Conj.to_list r.Rule.cstr))
+    p.Program.rules
+
+let simple_constraints_bound k = (2 * k * k) + (4 * k)
+
+let disjunct_bound k = Bigint.pow (Bigint.of_int 2) (simple_constraints_bound k)
+
+let iteration_bound (p : Program.t) =
+  let preds = Program.predicates p in
+  let n = List.length preds in
+  let k = List.fold_left (fun acc pred -> max acc (Program.arity p pred)) 0 preds in
+  Bigint.mul (Bigint.of_int n) (disjunct_bound k)

@@ -1,0 +1,30 @@
+(** The decidable class of Section 5 (Theorem 5.1).
+
+    When every constraint in the program has the form [X op Y] or [X op c]
+    with [op ∈ {≤, ≥, <, >}] — no arithmetic function symbols — only
+    finitely many "simple" constraints exist over a predicate's argument
+    positions, so [Gen_predicate_constraints] and [Gen_QRP_constraints]
+    terminate: a predicate of arity [k] admits at most [2k² + 4k] simple
+    constraints, hence at most [2^(2k²+4k)] disjuncts, and the procedures
+    iterate at most [n · 2^(2k²+4k)] times. *)
+
+open Cql_num
+open Cql_datalog
+
+val atom_in_class : Cql_constr.Atom.t -> bool
+(** [X op Y] or [X op c] with a strict or non-strict inequality (no
+    equalities, no multi-variable sums, no scaled variables). *)
+
+val in_class : Program.t -> bool
+(** Every constraint atom of every rule is in the class. *)
+
+val simple_constraints_bound : int -> int
+(** [2k² + 4k] for arity [k]. *)
+
+val disjunct_bound : int -> Bigint.t
+(** [2^(2k²+4k)]. *)
+
+val iteration_bound : Program.t -> Bigint.t
+(** [n · 2^(2k²+4k)] with [n] the number of predicates and [k] the maximum
+    arity — the combinatorial bound of Theorem 5.1 on the iterations of the
+    constraint-generation procedures. *)

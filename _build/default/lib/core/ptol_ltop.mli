@@ -1,0 +1,26 @@
+(** The PTOL and LTOP conversions (Definitions 2.7 and 2.8).
+
+    Predicate constraints and QRP constraints are expressed over the
+    canonical argument positions [$1 … $n]; constraints in rules are over
+    the rule's variables.  [PTOL(p(X̄), C)] converts a constraint set over
+    argument positions to one over the literal's variables; [LTOP(p(X̄), C)]
+    converts a constraint set over the literal's variables back to argument
+    positions, projecting out everything else (which also handles repeated
+    variables and constants in [X̄], per Definition 2.8). *)
+
+open Cql_constr
+open Cql_datalog
+
+val ptol_conj : Literal.t -> Conj.t -> Conj.t
+(** [ptol_conj l c]: substitute, in [c], each [$i] by the i-th argument of
+    [l].  Numeric constants substitute their value; argument positions
+    holding symbolic constants are projected away first (no arithmetic
+    constraint can bind them). *)
+
+val ptol : Literal.t -> Cset.t -> Cset.t
+
+val ltop_conj : Literal.t -> Conj.t -> Conj.t
+(** [ltop_conj l c]: the strongest constraint over [$1 … $n] implied by
+    [c ∧ ⋀ $i = tᵢ] (equations only for numeric arguments). *)
+
+val ltop : Literal.t -> Cset.t -> Cset.t

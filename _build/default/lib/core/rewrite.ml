@@ -1,0 +1,74 @@
+open Cql_datalog
+
+type step =
+  | Pred
+  | Qrp
+  | Magic of { adornment : string; constraint_magic : bool }
+  | Magic_complete
+
+type report = {
+  pred_constraints : Pred_constraints.result option;
+  qrp_constraints : Qrp.result option;
+}
+
+let empty_report = { pred_constraints = None; qrp_constraints = None }
+
+let is_adorned (p : Program.t) =
+  match p.Program.query with
+  | Some q -> Adorn.split_adorned q <> None
+  | None -> false
+
+let apply_step ?max_iters ?edb_constraints (p, report) = function
+  | Pred ->
+      let p', res = Pred_constraints.gen_prop ?max_iters ?edb_constraints p in
+      (p', { report with pred_constraints = Some res })
+  | Qrp ->
+      let res = Qrp.gen ?max_iters p in
+      let p' = Qrp.propagate res p in
+      (p', { report with qrp_constraints = Some res })
+  | Magic { adornment; constraint_magic } ->
+      let adorned = if is_adorned p then p else Adorn.program ~query_adornment:adornment p in
+      (Magic.templates_bf ~constraint_magic adorned, report)
+  | Magic_complete -> (Magic.templates_complete p, report)
+
+let sequence ?max_iters ?edb_constraints steps p =
+  List.fold_left (apply_step ?max_iters ?edb_constraints) (p, empty_report) steps
+
+let constraint_rewrite ?max_iters ?edb_constraints (p : Program.t) =
+  let q =
+    match p.Program.query with
+    | Some q -> q
+    | None -> invalid_arg "Rewrite.constraint_rewrite: no query predicate"
+  in
+  (* auxiliary query rule q1(X̄) :- q(X̄) so that q itself gets a QRP
+     constraint inferred from its uses (Section 4.5) *)
+  let aux_body = Literal.fresh_args q (Program.arity p q) in
+  let p1, aux = Program.with_query_rule p [ aux_body ] Cql_constr.Conj.tt in
+  let p2, pres = Pred_constraints.gen_prop ?max_iters ?edb_constraints p1 in
+  let qres = Qrp.gen ?max_iters p2 in
+  let p3 = Qrp.propagate qres p2 in
+  (* delete the auxiliary rules and restore the query predicate's name *)
+  let rules =
+    List.filter (fun (r : Rule.t) -> r.Rule.head.Literal.pred <> aux) p3.Program.rules
+  in
+  let primed = Qrp.primed_name ~suffix:"'" q in
+  let p4 = Program.make ~query:q rules in
+  let p4 =
+    if Program.is_derived p4 primed && not (Program.is_derived p4 q) then
+      Program.set_query q (Program.rename_predicate ~old_name:primed ~new_name:q p4)
+    else if Program.is_derived p4 primed then Program.set_query primed p4
+    else p4
+  in
+  (p4, { pred_constraints = Some pres; qrp_constraints = Some qres })
+
+let optimal ?max_iters ?edb_constraints ~adornment p =
+  let adorned = if is_adorned p then p else Adorn.program ~query_adornment:adornment p in
+  let p1, report = constraint_rewrite ?max_iters ?edb_constraints adorned in
+  (Magic.templates_bf ~constraint_magic:true p1, report)
+
+let balbin ?max_iters ~adornment p =
+  let adorned = if is_adorned p then p else Adorn.program ~query_adornment:adornment p in
+  let res = Qrp.gen_syntactic ?max_iters adorned in
+  let p1 = Qrp.propagate res adorned in
+  let p2 = Magic.templates_bf ~constraint_magic:true p1 in
+  (p2, { empty_report with qrp_constraints = Some res })

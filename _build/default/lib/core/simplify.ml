@@ -1,0 +1,78 @@
+open Cql_constr
+open Cql_datalog
+
+let rule (r : Rule.t) =
+  let c = Conj.simplify r.Rule.cstr in
+  if Conj.equal c Conj.ff then None else Some { r with Rule.cstr = c }
+
+(* one-way matching of [pat] terms against [tgt] terms: only pat-side
+   variables bind, injectively *)
+let match_term m (pat : Term.t) (tgt : Term.t) =
+  match (pat, tgt) with
+  | Term.C c1, Term.C c2 -> if Term.equal_const c1 c2 then Some m else None
+  | Term.V v, t -> (
+      match Var.Map.find_opt v m with
+      | Some bound -> if Term.equal bound t then Some m else None
+      | None -> Some (Var.Map.add v t m))
+  | Term.C _, Term.V _ -> None
+
+let match_literal m (pat : Literal.t) (tgt : Literal.t) =
+  if pat.Literal.pred <> tgt.Literal.pred then None
+  else if List.length pat.Literal.args <> List.length tgt.Literal.args then None
+  else
+    List.fold_left2
+      (fun acc p t -> match acc with None -> None | Some m -> match_term m p t)
+      (Some m) pat.Literal.args tgt.Literal.args
+
+let rule_subsumed_by ~general (r : Rule.t) =
+  (* rename the general rule apart so its variables are free to bind *)
+  let general = Rule.rename_apart general in
+  let rec cover m pats available =
+    match pats with
+    | [] -> Some m
+    | pat :: rest ->
+        let rec try_cands seen = function
+          | [] -> None
+          | cand :: cands -> (
+              match match_literal m pat cand with
+              | Some m' -> (
+                  match cover m' rest (List.rev_append seen cands) with
+                  | Some res -> Some res
+                  | None -> try_cands (cand :: seen) cands)
+              | None -> try_cands (cand :: seen) cands)
+        in
+        try_cands [] available
+  in
+  match match_literal Var.Map.empty general.Rule.head r.Rule.head with
+  | None -> false
+  | Some m -> (
+      match cover m general.Rule.body r.Rule.body with
+      | None -> false
+      | Some m -> (
+          (* leftover general-side variables (body-only vars not matched
+             because the general body is smaller) stay free: that is fine,
+             their constraints are existential *)
+          let subst = Subst.of_bindings (Var.Map.bindings m) in
+          match Subst.apply_conj subst general.Rule.cstr with
+          | gc ->
+              (* project general's constraints onto what got instantiated *)
+              let keep = Var.Set.union (Rule.vars r) (Conj.vars gc) in
+              let gc = Conj.project ~keep:(Var.Set.inter keep (Rule.vars r)) gc in
+              Conj.implies r.Rule.cstr gc
+          | exception Subst.Type_error _ -> false))
+
+let program (p : Program.t) =
+  let rules = List.filter_map rule p.Program.rules in
+  (* drop rules subsumed by another (keep the first of mutually-subsuming
+     pairs) *)
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | r :: rest ->
+        let subsumed =
+          List.exists (fun g -> g != r && rule_subsumed_by ~general:g r) kept
+          || List.exists (fun g -> rule_subsumed_by ~general:g r) rest
+        in
+        if subsumed then prune kept rest else prune (r :: kept) rest
+  in
+  let rules = prune [] rules in
+  Program.restrict_reachable (Program.dedup_rules { p with Program.rules })

@@ -1,0 +1,1 @@
+lib/datalog/depgraph.ml: Hashtbl List Literal Map Program Rule Set String

@@ -1,0 +1,1 @@
+lib/datalog/literal.ml: Cql_constr Format List String Term Var

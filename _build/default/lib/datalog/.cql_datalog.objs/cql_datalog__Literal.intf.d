@@ -1,0 +1,1 @@
+lib/datalog/literal.mli: Cql_constr Format Term Var

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Atom Conj Cql_constr Cql_num Linexpr List Literal Printf Program Rat Rule String Term Var

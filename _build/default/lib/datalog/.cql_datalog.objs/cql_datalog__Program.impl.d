@@ -1,0 +1,1 @@
+lib/datalog/program.ml: Conj Cql_constr Format Hashtbl List Literal Map Printf Rule Set String Var

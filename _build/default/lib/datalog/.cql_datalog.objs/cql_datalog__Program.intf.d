@@ -1,0 +1,1 @@
+lib/datalog/program.mli: Conj Cql_constr Format Literal Rule

@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Atom Conj Cql_constr Format Hashtbl List Literal Printf String Subst Term Var

@@ -1,0 +1,1 @@
+lib/datalog/rule.mli: Conj Cql_constr Format Literal Subst Var

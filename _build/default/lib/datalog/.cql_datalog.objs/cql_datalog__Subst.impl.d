@@ -1,0 +1,1 @@
+lib/datalog/subst.ml: Atom Conj Cql_constr Format Linexpr List Literal Printf Term Var

@@ -1,0 +1,1 @@
+lib/datalog/subst.mli: Conj Cql_constr Format Linexpr Literal Term Var

@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Cql_constr Cql_num Format Linexpr Rat String Var

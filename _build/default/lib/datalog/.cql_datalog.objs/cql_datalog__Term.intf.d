@@ -1,0 +1,1 @@
+lib/datalog/term.mli: Cql_constr Cql_num Format Linexpr Rat Var

@@ -1,0 +1,31 @@
+(** Predicate dependency graph and strongly connected components.
+
+    The GMT grounding procedure (Section 6.2) processes SCCs of the adorned
+    program in topological order, highest (query) SCC first; recursion
+    checks ("[q] is not recursive with [p]", Definition 6.1) are SCC
+    membership tests. *)
+
+type t
+
+val of_program : Program.t -> t
+(** Graph with an edge [p -> q] whenever [q] occurs in the body of a rule
+    defining [p]. *)
+
+val depends : t -> string -> string list
+(** Direct dependencies of a predicate (body predicates of its rules). *)
+
+val sccs : t -> string list list
+(** Strongly connected components in *reverse* topological order: callees
+    before callers, so the query predicate's SCC comes last. *)
+
+val sccs_top_down : t -> string list list
+(** SCCs with the query SCC first — the order [Ground_Fold_Unfold]
+    iterates in. *)
+
+val same_scc : t -> string -> string -> bool
+(** Mutual recursion test. *)
+
+val recursive_with : t -> string -> string -> bool
+(** [recursive_with g p q] iff [p] and [q] are in the same SCC. *)
+
+val scc_of : t -> string -> string list

@@ -1,0 +1,31 @@
+open Cql_constr
+
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+let arity l = List.length l.args
+
+let vars l =
+  List.fold_left (fun acc t -> Var.Set.union acc (Term.vars t)) Var.Set.empty l.args
+
+let of_vars pred vs = { pred; args = List.map Term.var vs }
+
+let fresh_args pred n =
+  { pred; args = List.init n (fun _ -> Term.var (Var.fresh "A")) }
+
+let canonical pred n = { pred; args = List.init n (fun i -> Term.var (Var.arg (i + 1))) }
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else List.compare Term.compare a.args b.args
+
+let equal a b = compare a b = 0
+
+let pp fmt l =
+  if l.args = [] then Format.pp_print_string fmt l.pred
+  else
+    Format.fprintf fmt "%s(%a)" l.pred
+      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") Term.pp)
+      l.args
+
+let to_string l = Format.asprintf "%a" pp l

@@ -1,0 +1,25 @@
+(** Predicate literals [p(t1, …, tn)]. *)
+
+open Cql_constr
+
+type t = { pred : string; args : Term.t list }
+
+val make : string -> Term.t list -> t
+val arity : t -> int
+val vars : t -> Var.Set.t
+
+val of_vars : string -> Var.t list -> t
+(** Literal whose arguments are the given variables. *)
+
+val fresh_args : string -> int -> t
+(** [fresh_args p n] is [p(X1,…,Xn)] over globally fresh, distinct
+    variables. *)
+
+val canonical : string -> int -> t
+(** [canonical p n] is [p($1,…,$n)] over the canonical argument-position
+    variables (used to express predicate and QRP constraints). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,426 @@
+open Cql_num
+open Cql_constr
+
+exception Error of string
+
+(* ----- lexer ----- *)
+
+type token =
+  | IDENT of string (* lowercase identifier: predicate or symbolic constant *)
+  | VAR of string (* uppercase or _ identifier: variable *)
+  | NUM of Rat.t
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | SEMI
+  | COLON
+  | IF (* :- *)
+  | QUERY (* ?- *)
+  | HASHQUERY (* #query *)
+  | PLUS
+  | MINUS
+  | STAR
+  | OP_LE
+  | OP_LT
+  | OP_GE
+  | OP_GT
+  | OP_EQ
+  | EOF
+
+type lexer = { src : string; mutable pos : int; mutable line : int; mutable col : int }
+
+let lex_error lx msg =
+  raise (Error (Printf.sprintf "line %d, column %d: %s" lx.line lx.col msg))
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let peek_char2 lx =
+  if lx.pos + 1 < String.length lx.src then Some lx.src.[lx.pos + 1] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_lower c || is_upper c || is_digit c || c = '\''
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '%' ->
+      let rec to_eol () =
+        match peek_char lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | _ -> ()
+
+let lex_ident lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  (* a '.' is part of the number only when followed by a digit, so rule
+     terminators after numerals lex correctly *)
+  (match (peek_char lx, peek_char2 lx) with
+  | Some '.', Some c when is_digit c ->
+      advance lx;
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done
+  | _ -> ());
+  Rat.of_string (String.sub lx.src start (lx.pos - start))
+
+let next_token lx =
+  skip_ws lx;
+  match peek_char lx with
+  | None -> EOF
+  | Some c when is_digit c -> NUM (lex_number lx)
+  | Some c when is_lower c -> IDENT (lex_ident lx)
+  | Some c when is_upper c -> VAR (lex_ident lx)
+  | Some '#' ->
+      advance lx;
+      let word = lex_ident lx in
+      if word = "query" then HASHQUERY else lex_error lx (Printf.sprintf "unknown directive #%s" word)
+  | Some '(' ->
+      advance lx;
+      LPAREN
+  | Some ')' ->
+      advance lx;
+      RPAREN
+  | Some ',' ->
+      advance lx;
+      COMMA
+  | Some ';' ->
+      advance lx;
+      SEMI
+  | Some '.' ->
+      advance lx;
+      PERIOD
+  | Some '+' ->
+      advance lx;
+      PLUS
+  | Some '-' ->
+      advance lx;
+      MINUS
+  | Some '*' ->
+      advance lx;
+      STAR
+  | Some ':' ->
+      advance lx;
+      if peek_char lx = Some '-' then begin
+        advance lx;
+        IF
+      end
+      else COLON
+  | Some '?' ->
+      advance lx;
+      if peek_char lx = Some '-' then begin
+        advance lx;
+        QUERY
+      end
+      else lex_error lx "expected '-' after '?'"
+  | Some '<' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        OP_LE
+      end
+      else OP_LT
+  | Some '>' ->
+      advance lx;
+      if peek_char lx = Some '=' then begin
+        advance lx;
+        OP_GE
+      end
+      else OP_GT
+  | Some '=' ->
+      advance lx;
+      OP_EQ
+  | Some c -> lex_error lx (Printf.sprintf "unexpected character %C" c)
+
+(* ----- parser state: one-token lookahead ----- *)
+
+type parser_state = { lx : lexer; mutable tok : token }
+
+let init src =
+  let lx = { src; pos = 0; line = 1; col = 1 } in
+  let st = { lx; tok = EOF } in
+  st.tok <- next_token lx;
+  st
+
+let parse_error st msg =
+  raise (Error (Printf.sprintf "line %d, column %d: %s" st.lx.line st.lx.col msg))
+
+let bump st = st.tok <- next_token st.lx
+
+let expect st tok msg =
+  if st.tok = tok then bump st else parse_error st ("expected " ^ msg)
+
+(* Variables are scoped per clause: same name = same variable within a
+   clause, but clauses are renamed apart from each other. *)
+type clause_ctx = {
+  mutable env : (string * Var.t) list;
+  mutable eqs : Atom.t list; (* equality constraints from flattened args *)
+}
+
+let lookup_var ctx name =
+  match List.assoc_opt name ctx.env with
+  | Some v -> v
+  | None ->
+      let v = Var.fresh name in
+      ctx.env <- (name, v) :: ctx.env;
+      v
+
+(* expression grammar: expr := term (('+'|'-') term)* ;
+   term := factor ('*' factor)* with at most one variable per product *)
+let rec parse_expr st ctx =
+  let e = ref (parse_term st ctx) in
+  let rec loop () =
+    match st.tok with
+    | PLUS ->
+        bump st;
+        e := Linexpr.add !e (parse_term st ctx);
+        loop ()
+    | MINUS ->
+        bump st;
+        e := Linexpr.sub !e (parse_term st ctx);
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !e
+
+and parse_term st ctx =
+  let e = ref (parse_factor st ctx) in
+  let rec loop () =
+    match st.tok with
+    | STAR ->
+        bump st;
+        let f = parse_factor st ctx in
+        (if Linexpr.is_const !e then e := Linexpr.scale (Linexpr.constant !e) f
+         else if Linexpr.is_const f then e := Linexpr.scale (Linexpr.constant f) !e
+         else parse_error st "nonlinear product of two variables");
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !e
+
+and parse_factor st ctx =
+  match st.tok with
+  | NUM q ->
+      bump st;
+      (* allow rationals written as fractions in constraints: 1/2 lexes as
+         NUM 1, '/' is not a token -- keep it simple: decimals only *)
+      Linexpr.const q
+  | VAR name ->
+      bump st;
+      Linexpr.var (lookup_var ctx name)
+  | MINUS ->
+      bump st;
+      Linexpr.neg (parse_factor st ctx)
+  | LPAREN ->
+      bump st;
+      let e = parse_expr st ctx in
+      expect st RPAREN "')'";
+      e
+  | IDENT s -> parse_error st (Printf.sprintf "symbolic constant %s in arithmetic expression" s)
+  | _ -> parse_error st "expected an arithmetic expression"
+
+let op_atom op e1 e2 =
+  match op with
+  | OP_LE -> Atom.le e1 e2
+  | OP_LT -> Atom.lt e1 e2
+  | OP_GE -> Atom.ge e1 e2
+  | OP_GT -> Atom.gt e1 e2
+  | OP_EQ -> Atom.eq e1 e2
+  | _ -> assert false
+
+let is_cmp_op = function OP_LE | OP_LT | OP_GE | OP_GT | OP_EQ -> true | _ -> false
+
+let parse_constraint st ctx =
+  let e1 = parse_expr st ctx in
+  let op = st.tok in
+  if not (is_cmp_op op) then parse_error st "expected a comparison operator";
+  bump st;
+  let e2 = parse_expr st ctx in
+  op_atom op e1 e2
+
+(* a literal argument: symbolic constant, or an expression flattened to a
+   variable/constant plus equality constraints *)
+let parse_arg st ctx =
+  match st.tok with
+  | IDENT s ->
+      bump st;
+      Term.sym s
+  | _ ->
+      let e = parse_expr st ctx in
+      let terms = Linexpr.terms e in
+      let c = Linexpr.constant e in
+      (match terms with
+      | [] -> Term.num c
+      | [ (v, k) ] when Rat.equal k Rat.one && Rat.is_zero c -> Term.var v
+      | _ ->
+          let v = Var.fresh "E" in
+          ctx.eqs <- Atom.eq (Linexpr.var v) e :: ctx.eqs;
+          Term.var v)
+
+let parse_literal st ctx =
+  match st.tok with
+  | IDENT pred ->
+      bump st;
+      if st.tok <> LPAREN then (Literal.make pred [], [])
+      else begin
+        bump st;
+        let args = ref [ parse_arg st ctx ] in
+        while st.tok = COMMA do
+          bump st;
+          args := parse_arg st ctx :: !args
+        done;
+        (* optional trailing constraints for constraint facts: p(X; X <= 3) *)
+        let cstrs = ref [] in
+        if st.tok = SEMI then begin
+          bump st;
+          cstrs := [ parse_constraint st ctx ];
+          while st.tok = COMMA do
+            bump st;
+            cstrs := parse_constraint st ctx :: !cstrs
+          done
+        end;
+        expect st RPAREN "')'";
+        (Literal.make pred (List.rev !args), List.rev !cstrs)
+      end
+  | _ -> parse_error st "expected a predicate name"
+
+(* body := (literal | constraint) list; returns literals and constraints *)
+let parse_body st ctx =
+  let lits = ref [] and atoms = ref [] in
+  let item () =
+    match st.tok with
+    | IDENT _ ->
+        let l, cs = parse_literal st ctx in
+        lits := l :: !lits;
+        atoms := List.rev_append cs !atoms
+    | _ -> atoms := parse_constraint st ctx :: !atoms
+  in
+  item ();
+  while st.tok = COMMA do
+    bump st;
+    item ()
+  done;
+  (List.rev !lits, List.rev !atoms)
+
+type clause = Clause_rule of Rule.t | Clause_query of Literal.t list * Conj.t | Clause_setq of string
+
+let parse_clause st =
+  let ctx = { env = []; eqs = [] } in
+  match st.tok with
+  | QUERY ->
+      bump st;
+      let lits, atoms = parse_body st ctx in
+      expect st PERIOD "'.'";
+      Clause_query (lits, Conj.of_list (atoms @ ctx.eqs))
+  | HASHQUERY ->
+      bump st;
+      let name =
+        match st.tok with
+        | IDENT s ->
+            bump st;
+            s
+        | _ -> parse_error st "expected a predicate name after #query"
+      in
+      expect st PERIOD "'.'";
+      Clause_setq name
+  | _ ->
+      (* optional label: IDENT ':' not followed by '-' *)
+      let label =
+        match st.tok with
+        | IDENT s ->
+            (* lookahead: save state is hard; instead parse the literal and
+               check for COLON only when no '(' followed. Simpler: peek via
+               lexer clone *)
+            let saved_pos = st.lx.pos and saved_line = st.lx.line and saved_col = st.lx.col in
+            let saved_tok = st.tok in
+            bump st;
+            if st.tok = COLON then begin
+              bump st;
+              s
+            end
+            else begin
+              st.lx.pos <- saved_pos;
+              st.lx.line <- saved_line;
+              st.lx.col <- saved_col;
+              st.tok <- saved_tok;
+              ""
+            end
+        | _ -> ""
+      in
+      let head, head_cstrs = parse_literal st ctx in
+      let body_lits, body_atoms =
+        if st.tok = IF then begin
+          bump st;
+          parse_body st ctx
+        end
+        else ([], [])
+      in
+      expect st PERIOD "'.'";
+      Clause_rule
+        (Rule.make ~label head body_lits (Conj.of_list (head_cstrs @ body_atoms @ ctx.eqs)))
+
+let parse_program st =
+  let rules = ref [] and query = ref None and pending_query = ref None in
+  while st.tok <> EOF do
+    match parse_clause st with
+    | Clause_rule r -> rules := r :: !rules
+    | Clause_setq q -> query := Some q
+    | Clause_query (lits, cstr) -> pending_query := Some (lits, cstr)
+  done;
+  let p = Program.make ?query:!query (List.rev !rules) in
+  match !pending_query with
+  | None -> p
+  | Some (lits, cstr) -> fst (Program.with_query_rule p lits cstr)
+
+let program_of_string src = parse_program (init src)
+
+let program_of_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  program_of_string src
+
+let rule_of_string src =
+  match parse_clause (init src) with
+  | Clause_rule r -> r
+  | Clause_query _ | Clause_setq _ -> raise (Error "expected a rule, got a query")
+
+let facts_of_string src =
+  let p = program_of_string src in
+  List.map
+    (fun (r : Rule.t) ->
+      if not (Rule.is_fact r) then
+        raise (Error (Printf.sprintf "EDB clause has body literals: %s" (Rule.to_string r)));
+      r)
+    p.Program.rules

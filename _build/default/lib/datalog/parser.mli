@@ -1,0 +1,41 @@
+(** Parser for the concrete CQL syntax used by the CLI, examples and tests.
+
+    The syntax follows the paper's notation:
+
+    {v
+    % comments run to end of line
+    r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+    r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                              T = T1 + T2 + 30, C = C1 + C2.
+    ?- cheaporshort(madison, seattle, T, C).
+    v}
+
+    - Variables start with an uppercase letter or [_]; lowercase identifiers
+      are predicate names or symbolic constants; numeric literals may be
+      decimals ([2.5]) or fractions are written with [/] in constraints.
+    - Body items are literals or linear constraints ([<=], [<], [>=], [>],
+      [=]) over arithmetic expressions ([+], [-], [*] by a constant).
+    - Literal arguments may be arithmetic expressions; they are normalized to
+      fresh variables plus equality constraints (Section 2 normal form).
+    - [?- body.] turns the query into a rule for a fresh query predicate, as
+      Section 2 prescribes.
+    - [#query p.] designates an existing predicate as the query predicate
+      without adding a rule.
+    - Constraint facts are written [p(X, Y; X <= Y).] with the constraints
+      after a semicolon. *)
+
+exception Error of string
+(** Parse error, with a line/column-annotated message. *)
+
+val program_of_string : string -> Program.t
+(** @raise Error on syntax errors. *)
+
+val program_of_file : string -> Program.t
+
+val rule_of_string : string -> Rule.t
+(** Parse a single clause (must not be a query).
+    @raise Error on syntax errors. *)
+
+val facts_of_string : string -> Rule.t list
+(** Parse an EDB file: a list of (constraint) facts.
+    @raise Error if any clause has body literals. *)

@@ -1,0 +1,178 @@
+open Cql_constr
+
+module StringSet = Set.Make (String)
+module StringMap = Map.Make (String)
+
+type t = { rules : Rule.t list; query : string option }
+
+let make ?query rules = { rules; query }
+let add_rule r p = { p with rules = p.rules @ [ r ] }
+let set_query q p = { p with query = Some q }
+
+let head_preds p =
+  List.fold_left (fun acc (r : Rule.t) -> StringSet.add r.Rule.head.Literal.pred acc)
+    StringSet.empty p.rules
+
+let all_preds p =
+  List.fold_left
+    (fun acc (r : Rule.t) ->
+      List.fold_left
+        (fun acc (l : Literal.t) -> StringSet.add l.Literal.pred acc)
+        (StringSet.add r.Rule.head.Literal.pred acc)
+        r.Rule.body)
+    StringSet.empty p.rules
+
+let predicates p = StringSet.elements (all_preds p)
+let derived p = StringSet.elements (head_preds p)
+let edb p = StringSet.elements (StringSet.diff (all_preds p) (head_preds p))
+let is_derived p name = StringSet.mem name (head_preds p)
+
+let rules_defining p name =
+  List.filter (fun (r : Rule.t) -> r.Rule.head.Literal.pred = name) p.rules
+
+let arity p name =
+  let find_in (l : Literal.t) = if l.Literal.pred = name then Some (Literal.arity l) else None in
+  let rec go = function
+    | [] -> raise Not_found
+    | (r : Rule.t) :: rest -> (
+        match find_in r.Rule.head with
+        | Some a -> a
+        | None -> (
+            match List.find_map find_in r.Rule.body with Some a -> a | None -> go rest))
+  in
+  go p.rules
+
+let body_occurrences p name =
+  List.concat_map
+    (fun (r : Rule.t) ->
+      List.filter_map
+        (fun (l : Literal.t) -> if l.Literal.pred = name then Some (r, l) else None)
+        r.Rule.body)
+    p.rules
+
+let rename_predicate ~old_name ~new_name p =
+  let ren (l : Literal.t) =
+    if l.Literal.pred = old_name then { l with Literal.pred = new_name } else l
+  in
+  let rules =
+    List.map
+      (fun (r : Rule.t) ->
+        { r with Rule.head = ren r.Rule.head; Rule.body = List.map ren r.Rule.body })
+      p.rules
+  in
+  let query = match p.query with Some q when q = old_name -> Some new_name | q -> q in
+  { rules; query }
+
+let map_rules f p = { p with rules = List.map f p.rules }
+
+let restrict_reachable p =
+  match p.query with
+  | None -> p
+  | Some q ->
+      let defs = head_preds p in
+      let rec reach seen frontier =
+        if StringSet.is_empty frontier then seen
+        else
+          let next =
+            List.fold_left
+              (fun acc (r : Rule.t) ->
+                if StringSet.mem r.Rule.head.Literal.pred frontier then
+                  List.fold_left
+                    (fun acc (l : Literal.t) -> StringSet.add l.Literal.pred acc)
+                    acc r.Rule.body
+                else acc)
+              StringSet.empty p.rules
+          in
+          let fresh = StringSet.diff (StringSet.inter next defs) seen in
+          reach (StringSet.union seen fresh) fresh
+      in
+      let reachable = reach (StringSet.singleton q) (StringSet.singleton q) in
+      {
+        p with
+        rules =
+          List.filter (fun (r : Rule.t) -> StringSet.mem r.Rule.head.Literal.pred reachable) p.rules;
+      }
+
+let fresh_query_name p =
+  let preds = all_preds p in
+  let rec go i =
+    let name = if i = 0 then "q_" else Printf.sprintf "q_%d" i in
+    if StringSet.mem name preds then go (i + 1) else name
+  in
+  go 0
+
+let with_query_rule p body cstr =
+  let qname = fresh_query_name p in
+  let vars =
+    Var.Set.union
+      (List.fold_left (fun acc l -> Var.Set.union acc (Literal.vars l)) Var.Set.empty body)
+      (Conj.vars cstr)
+  in
+  let head = Literal.of_vars qname (Var.Set.elements vars) in
+  let rule = Rule.make ~label:"query" head body cstr in
+  (set_query qname (add_rule rule p), qname)
+
+let check p =
+  let arities = Hashtbl.create 16 in
+  let exception Bad of string in
+  try
+    let see (l : Literal.t) =
+      let a = Literal.arity l in
+      match Hashtbl.find_opt arities l.Literal.pred with
+      | None -> Hashtbl.add arities l.Literal.pred a
+      | Some a' ->
+          if a <> a' then
+            raise (Bad (Printf.sprintf "predicate %s used with arities %d and %d" l.Literal.pred a' a))
+    in
+    List.iter
+      (fun (r : Rule.t) ->
+        see r.Rule.head;
+        List.iter see r.Rule.body)
+      p.rules;
+    (match p.query with
+    | Some q when not (StringSet.mem q (all_preds p)) ->
+        raise (Bad (Printf.sprintf "query predicate %s does not occur in the program" q))
+    | _ -> ());
+    Ok ()
+  with Bad msg -> Error msg
+
+let is_range_restricted p = List.for_all Rule.is_range_restricted p.rules
+
+let prettify p = { p with rules = List.map Rule.prettify p.rules }
+
+let dedup_rules p =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | r :: rest ->
+        if List.exists (Rule.equal_mod_renaming r) kept then go kept rest
+        else go (r :: kept) rest
+  in
+  { p with rules = go [] p.rules }
+
+let equal_mod_renaming a b =
+  (* multiset matching of rules by equal_mod_renaming, with backtracking *)
+  let rec go arules brules =
+    match arules with
+    | [] -> brules = []
+    | r :: rest ->
+        let rec pick seen = function
+          | [] -> false
+          | r' :: rest' ->
+              if Rule.equal_mod_renaming r r' && go rest (List.rev_append seen rest') then true
+              else pick (r' :: seen) rest'
+        in
+        pick [] brules
+  in
+  List.length a.rules = List.length b.rules && go a.rules b.rules
+
+let pp fmt p =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_newline fmt ())
+    Rule.pp fmt p.rules;
+  match p.query with
+  | Some q ->
+      Format.pp_print_newline fmt ();
+      Format.fprintf fmt "#query %s." q
+  | None -> ()
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,78 @@
+(** CQL programs: a finite set of rules plus a designated query predicate.
+
+    Following Section 2 of the paper, a query [?- q(t̄)] is folded into the
+    program as a rule defining a fresh query predicate, so transformations
+    treat it like any other rule. *)
+
+open Cql_constr
+
+type t = { rules : Rule.t list; query : string option }
+
+val make : ?query:string -> Rule.t list -> t
+
+val add_rule : Rule.t -> t -> t
+val set_query : string -> t -> t
+
+(** {1 Predicate structure} *)
+
+val predicates : t -> string list
+(** All predicates occurring in the program, sorted. *)
+
+val derived : t -> string list
+(** Predicates defined by at least one rule (IDB), sorted. *)
+
+val edb : t -> string list
+(** Predicates occurring only in rule bodies (database predicates). *)
+
+val is_derived : t -> string -> bool
+
+val rules_defining : t -> string -> Rule.t list
+
+val arity : t -> string -> int
+(** Arity of a predicate occurring in the program.
+    @raise Not_found if the predicate does not occur. *)
+
+val body_occurrences : t -> string -> (Rule.t * Literal.t) list
+(** All body occurrences of a predicate, with their rule. *)
+
+val rename_predicate : old_name:string -> new_name:string -> t -> t
+(** Rename a predicate everywhere (heads and bodies). *)
+
+val map_rules : (Rule.t -> Rule.t) -> t -> t
+
+val restrict_reachable : t -> t
+(** Delete rules not reachable from the query predicate (the cleanup step
+    after fold/unfold transformations, cf. Example 4.1). Programs without a
+    query predicate are returned unchanged. *)
+
+val with_query_rule : t -> Literal.t list -> Conj.t -> t * string
+(** [with_query_rule p body cstr] adds a rule [q(ȳ) :- cstr, body] for a
+    fresh query predicate [q] whose arguments are the variables of the query
+    body (Section 2), sets it as the program's query predicate, and returns
+    the new program along with [q]. *)
+
+(** {1 Validation} *)
+
+val check : t -> (unit, string) result
+(** Structural well-formedness: consistent predicate arities, and every rule
+    head is a derived predicate occurrence. *)
+
+val is_range_restricted : t -> bool
+
+(** {1 Comparison and printing} *)
+
+val prettify : t -> t
+(** Rename every rule's variables to short readable names (cosmetic). *)
+
+val dedup_rules : t -> t
+(** Remove rules that duplicate an earlier rule up to variable renaming and
+    body reordering (overlapping constraint-set disjuncts can make the
+    propagation procedures emit duplicates; cf. Example 4.3 where the paper
+    merges them). *)
+
+val equal_mod_renaming : t -> t -> bool
+(** Same rule multiset up to variable renaming, body reordering and rule
+    order (labels ignored). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,72 @@
+open Cql_constr
+
+type t = Term.t Var.Map.t
+
+exception Type_error of string
+
+let empty = Var.Map.empty
+let is_empty = Var.Map.is_empty
+let bindings = Var.Map.bindings
+let of_bindings l = Var.Map.of_seq (List.to_seq l)
+let find v s = Var.Map.find_opt v s
+
+let rec resolve s (t : Term.t) =
+  match t with
+  | Term.C _ -> t
+  | Term.V v -> (
+      match Var.Map.find_opt v s with
+      | None -> t
+      | Some t' -> if Term.equal t t' then t else resolve s t')
+
+let apply_term s t = resolve s t
+
+let apply_literal s (l : Literal.t) =
+  { l with Literal.args = List.map (apply_term s) l.Literal.args }
+
+let apply_linexpr s e =
+  Var.Set.fold
+    (fun v acc ->
+      match resolve s (Term.V v) with
+      | Term.V v' -> if Var.equal v v' then acc else Linexpr.subst v (Linexpr.var v') acc
+      | Term.C (Term.Num q) -> Linexpr.subst v (Linexpr.const q) acc
+      | Term.C (Term.Sym sym) ->
+          raise
+            (Type_error
+               (Printf.sprintf "symbolic constant %s substituted into an arithmetic constraint"
+                  sym)))
+    (Linexpr.vars e) e
+
+let apply_conj s c =
+  Conj.of_list
+    (List.map
+       (fun (a : Atom.t) -> Atom.make (apply_linexpr s a.Atom.expr) a.Atom.op)
+       (Conj.to_list c))
+
+(* union-find style flat unification: bind the representative var *)
+let unify_terms s t1 t2 =
+  let t1 = resolve s t1 and t2 = resolve s t2 in
+  match (t1, t2) with
+  | Term.V v1, Term.V v2 -> if Var.equal v1 v2 then Some s else Some (Var.Map.add v1 t2 s)
+  | Term.V v, (Term.C _ as c) | (Term.C _ as c), Term.V v -> Some (Var.Map.add v c s)
+  | Term.C c1, Term.C c2 -> if Term.equal_const c1 c2 then Some s else None
+
+let unify_under s (l1 : Literal.t) (l2 : Literal.t) =
+  if l1.Literal.pred <> l2.Literal.pred then None
+  else if List.length l1.Literal.args <> List.length l2.Literal.args then None
+  else
+    List.fold_left2
+      (fun acc t1 t2 -> match acc with None -> None | Some s -> unify_terms s t1 t2)
+      (Some s) l1.Literal.args l2.Literal.args
+
+let unify l1 l2 = unify_under empty l1 l2
+
+let renaming_of vars ~suffix =
+  Var.Set.fold (fun v acc -> Var.Map.add v (Term.var (Var.fresh (Var.name v ^ suffix))) acc)
+    vars empty
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (v, t) -> Format.fprintf fmt "%a -> %a" Var.pp v Term.pp t))
+    (bindings s)

@@ -1,0 +1,45 @@
+(** Substitutions over flat terms, and most-general unifiers.
+
+    Because rules are normalized (arguments are variables or constants),
+    unification is the simple flat case: a most general unifier binds
+    variables to variables or constants.  Substituting a numeric constant
+    into an arithmetic constraint is meaningful; substituting a *symbolic*
+    constant into one raises {!Type_error} (such resolvents only arise from
+    ill-typed programs). *)
+
+open Cql_constr
+
+type t
+(** A finite map from variables to terms, idempotent on its domain. *)
+
+exception Type_error of string
+
+val empty : t
+val is_empty : t -> bool
+val bindings : t -> (Var.t * Term.t) list
+val of_bindings : (Var.t * Term.t) list -> t
+(** Unchecked construction; callers must ensure idempotence. *)
+
+val find : Var.t -> t -> Term.t option
+
+val apply_term : t -> Term.t -> Term.t
+val apply_literal : t -> Literal.t -> Literal.t
+
+val apply_linexpr : t -> Linexpr.t -> Linexpr.t
+(** @raise Type_error when a variable is bound to a symbolic constant. *)
+
+val apply_conj : t -> Conj.t -> Conj.t
+(** @raise Type_error when a variable is bound to a symbolic constant. *)
+
+val unify : Literal.t -> Literal.t -> t option
+(** Most general unifier of two literals, or [None] when they do not unify
+    (different predicate, arity, or clashing constants). *)
+
+val unify_under : t -> Literal.t -> Literal.t -> t option
+(** Extend an existing substitution. *)
+
+val renaming_of : Var.Set.t -> suffix:string -> t
+(** A substitution renaming each variable in the set to a fresh variable
+    (used to rename rules apart). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Terms of the constraint query language.
+
+    Rules are kept in a normal form where every literal argument is a plain
+    variable or a constant; source-level arithmetic arguments such as
+    [fib(N, X1+X2)] are flattened by the parser into a fresh variable plus an
+    equality constraint.  Constants are either numeric (participating in
+    arithmetic constraints) or symbolic (uninterpreted, e.g. [madison]). *)
+
+open Cql_num
+open Cql_constr
+
+type const = Num of Rat.t | Sym of string
+
+type t = V of Var.t | C of const
+
+val var : Var.t -> t
+val num : Rat.t -> t
+val int : int -> t
+val sym : string -> t
+
+val is_var : t -> bool
+val is_ground : t -> bool
+
+val vars : t -> Var.Set.t
+
+val to_linexpr : t -> Linexpr.t option
+(** [Some e] for variables and numeric constants; [None] for symbolic
+    constants, which cannot appear in arithmetic constraints. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val compare_const : const -> const -> int
+val equal_const : const -> const -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_const : Format.formatter -> const -> unit
+val to_string : t -> string

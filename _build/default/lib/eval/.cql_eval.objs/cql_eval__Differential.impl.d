@@ -1,0 +1,1 @@
+lib/eval/differential.ml: Cql_datalog Engine Fact List Program String

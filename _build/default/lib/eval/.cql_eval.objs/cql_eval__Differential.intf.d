@@ -1,0 +1,1 @@
+lib/eval/differential.mli: Cql_datalog Fact Program

@@ -1,0 +1,1 @@
+lib/eval/engine.ml: Array Atom Conj Cql_constr Cql_datalog Depgraph Fact Linexpr List Literal Map Program Rule String Subst Term Var

@@ -1,0 +1,1 @@
+lib/eval/engine.mli: Cql_datalog Fact Program

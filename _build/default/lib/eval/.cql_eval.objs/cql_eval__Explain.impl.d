@@ -1,0 +1,1 @@
+lib/eval/explain.ml: Engine Fact Format List String

@@ -1,0 +1,1 @@
+lib/eval/explain.mli: Engine Fact Format

@@ -1,0 +1,1 @@
+lib/eval/fact.ml: Array Atom Conj Cql_constr Cql_datalog Cql_num Format Linexpr List Literal Rat Rule Stdlib String Term Var

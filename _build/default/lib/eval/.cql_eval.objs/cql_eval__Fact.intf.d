@@ -1,0 +1,1 @@
+lib/eval/fact.mli: Conj Cql_constr Cql_datalog Cql_num Format Literal Rat Rule Term

@@ -1,0 +1,1 @@
+lib/eval/relation.ml: Fact Format List

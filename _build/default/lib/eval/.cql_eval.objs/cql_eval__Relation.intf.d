@@ -1,0 +1,1 @@
+lib/eval/relation.mli: Fact Format

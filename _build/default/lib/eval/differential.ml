@@ -1,0 +1,80 @@
+open Cql_datalog
+
+type outcome = { equal_answers : bool; facts_subset : bool; both_fixpoint : bool }
+
+(* flight'_bbff -> flight: strip one prime cluster and one trailing
+   b/c/f-adornment chunk, repeatedly *)
+let rename_base name =
+  let strip_adornment s =
+    match String.rindex_opt s '_' with
+    | Some i
+      when i > 0
+           && i < String.length s - 1
+           && String.for_all
+                (fun c -> c = 'b' || c = 'c' || c = 'f')
+                (String.sub s (i + 1) (String.length s - i - 1)) ->
+        String.sub s 0 i
+    | _ -> s
+  in
+  let strip_primes s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = '\'' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let rec fix s =
+    let s' = strip_primes (strip_adornment s) in
+    if s' = s then s else fix s'
+  in
+  fix name
+
+let with_base_pred f =
+  let base = rename_base (Fact.pred f) in
+  if base = Fact.pred f then f else Fact.make base f.Fact.args (Fact.cstr f)
+
+let same_fact_sets a b =
+  List.for_all (fun f -> List.exists (fun g -> Fact.subsumes g f) b) a
+  && List.for_all (fun f -> List.exists (fun g -> Fact.subsumes g f) a) b
+
+let auxiliary pred =
+  let is_prefix p = String.length pred >= String.length p && String.sub pred 0 (String.length p) = p in
+  is_prefix "m_" || is_prefix "s_" || is_prefix "q_"
+
+let compare_runs ?max_iterations ?max_derivations ~(original : Program.t)
+    ~(rewritten : Program.t) ~edb () =
+  let r1 = Engine.run ?max_iterations ?max_derivations original ~edb in
+  let r2 = Engine.run ?max_iterations ?max_derivations rewritten ~edb in
+  let q1 =
+    match original.Program.query with
+    | Some q -> q
+    | None -> invalid_arg "Differential.compare_runs: original has no query"
+  in
+  let q2 =
+    match rewritten.Program.query with
+    | Some q -> q
+    | None -> invalid_arg "Differential.compare_runs: rewritten has no query"
+  in
+  let a1 = List.map with_base_pred (Engine.facts_of r1 q1) in
+  let a2 = List.map with_base_pred (Engine.facts_of r2 q2) in
+  let equal_answers = same_fact_sets a1 a2 in
+  (* subset: every non-auxiliary fact of the rewritten run is subsumed by a
+     fact of the original run under the base predicate name *)
+  let originals =
+    List.concat_map (fun (_, fs) -> List.map with_base_pred fs) (Engine.all_facts r1)
+  in
+  let facts_subset =
+    List.for_all
+      (fun (pred, fs) ->
+        auxiliary pred
+        || List.for_all
+             (fun f ->
+               let f = with_base_pred f in
+               List.exists (fun g -> Fact.pred g = Fact.pred f && Fact.subsumes g f) originals)
+             fs)
+      (Engine.all_facts r2)
+  in
+  let both_fixpoint =
+    (Engine.stats r1).Engine.reached_fixpoint && (Engine.stats r2).Engine.reached_fixpoint
+  in
+  { equal_answers; facts_subset; both_fixpoint }

@@ -1,0 +1,40 @@
+(** Differential testing of program transformations.
+
+    The paper's correctness theorems (4.3, 4.4, 6.2, 7.x) are statements
+    about query equivalence and fact-set containment between a program and
+    its rewriting.  This module decides those relations on a concrete EDB by
+    evaluating both programs, up to fact subsumption and predicate renaming
+    (rewritten programs rename predicates, e.g. [flight] → [flight'] or
+    [flight_bbff]). *)
+
+open Cql_datalog
+
+type outcome = {
+  equal_answers : bool;  (** same query-predicate facts up to subsumption *)
+  facts_subset : bool;
+      (** the second program's facts are a subset of the first's (per
+          renamed predicate), Theorem 4.4 part 2 *)
+  both_fixpoint : bool;  (** neither run was stopped by a budget *)
+}
+
+val rename_base : string -> string
+(** Strip the decorations rewriting adds to a predicate name: primes and
+    adornment suffixes ([flight'_bbff] → [flight]). *)
+
+val compare_runs :
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  original:Program.t ->
+  rewritten:Program.t ->
+  edb:Fact.t list ->
+  unit ->
+  outcome
+(** Evaluate both programs on the EDB and compare.  Both must have query
+    predicates; the rewritten program's predicates are mapped back to the
+    original's through {!rename_base}.  Magic predicates ([m_*]) and
+    supplementary predicates ([s_*]) in the rewritten program are ignored
+    for the subset check. *)
+
+val same_fact_sets : Fact.t list -> Fact.t list -> bool
+(** Mutual subsumption: every fact of each list is subsumed by some fact of
+    the other (predicate names must already agree). *)

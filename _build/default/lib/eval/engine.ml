@@ -1,0 +1,353 @@
+open Cql_constr
+open Cql_datalog
+
+module StringMap = Map.Make (String)
+
+type trace_entry = { iteration : int; rule_label : string; fact : Fact.t; subsumed : bool }
+
+type stats = {
+  iterations : int;
+  derivations : int;
+  facts_added : int;
+  reached_fixpoint : bool;
+}
+
+(* facts are stored with the iteration that added them, enabling the
+   old/delta/full split of semi-naive evaluation *)
+module FactMap = Map.Make (Fact)
+
+type result = {
+  store : (Fact.t * int) list StringMap.t;
+  stats : stats;
+  trace_rev : trace_entry list;
+  provenance : (string * Fact.t list) FactMap.t;
+      (* first derivation of each fact: rule label + the facts it used *)
+}
+
+let stats r = r.stats
+let trace r = List.rev r.trace_rev
+
+let facts_of r pred =
+  match StringMap.find_opt pred r.store with
+  | None -> []
+  | Some l -> List.rev_map fst l
+
+let all_facts r = StringMap.fold (fun p l acc -> (p, List.rev_map fst l) :: acc) r.store []
+let total_facts r = StringMap.fold (fun _ l acc -> acc + List.length l) r.store 0
+let total_idb_facts r ~edb = total_facts r - List.length edb
+
+let answers r (p : Program.t) =
+  match p.Program.query with None -> [] | Some q -> facts_of r q
+
+let provenance r f = FactMap.find_opt f r.provenance
+
+let all_ground r =
+  StringMap.for_all (fun _ l -> List.for_all (fun (f, _) -> Fact.is_ground f) l) r.store
+
+(* ----- rule application ----- *)
+
+(* instantiate a stored fact as a literal: pinned numeric positions become
+   constants (so ground workloads never touch the solver), the rest become
+   fresh variables carrying the renamed residual constraints *)
+let fact_literal (f : Fact.t) : Literal.t * Conj.t =
+  let n = Fact.arity f in
+  let fresh = Array.make n None in
+  let args =
+    List.init n (fun i ->
+        match f.Fact.args.(i) with
+        | Fact.Psym s -> Term.sym s
+        | Fact.Pvar -> (
+            match f.Fact.pinned.(i) with
+            | Some q -> Term.num q
+            | None ->
+                let v = Var.fresh "F" in
+                fresh.(i) <- Some v;
+                Term.var v))
+  in
+  let residual =
+    if Array.for_all (fun o -> o = None) fresh then Conj.tt
+    else begin
+      (* substitute pinned values, rename the remaining canonical vars *)
+      let c =
+        Array.to_list f.Fact.pinned
+        |> List.mapi (fun i q -> (i, q))
+        |> List.fold_left
+             (fun c (i, q) ->
+               match q with
+               | Some q when f.Fact.args.(i) = Fact.Pvar ->
+                   Conj.subst (Var.arg (i + 1)) (Linexpr.const q) c
+               | _ -> c)
+             (Fact.cstr f)
+      in
+      let ren v =
+        match Var.arg_index v with
+        | Some i when i >= 1 && i <= n -> (
+            match fresh.(i - 1) with Some fv -> fv | None -> v)
+        | _ -> v
+      in
+      Conj.rename ren c
+    end
+  in
+  (Literal.make (Fact.pred f) args, residual)
+
+(* finish one candidate derivation: apply the substitution, check
+   satisfiability, project onto the head fact *)
+let derive_head (rule : Rule.t) theta body_cstr : Fact.t option =
+  try
+    let combined = Subst.apply_conj theta (Conj.and_ rule.Rule.cstr body_cstr) in
+    if not (Conj.is_sat combined) then None
+    else begin
+      (* build the head fact over canonical $i variables *)
+      let head = Subst.apply_literal theta rule.Rule.head in
+      let n = Literal.arity head in
+      let args = Array.make n Fact.Pvar in
+      let atoms = ref (Conj.to_list combined) in
+      List.iteri
+        (fun i t ->
+          let ai = Var.arg (i + 1) in
+          match t with
+          | Term.C (Term.Sym s) -> args.(i) <- Fact.Psym s
+          | Term.C (Term.Num q) ->
+              atoms := Atom.eq (Linexpr.var ai) (Linexpr.const q) :: !atoms
+          | Term.V v -> atoms := Atom.eq (Linexpr.var ai) (Linexpr.var v) :: !atoms)
+        head.Literal.args;
+      match Fact.make head.Literal.pred args (Conj.of_list !atoms) with
+      | f -> Some f
+      | exception Fact.Unsat -> None
+    end
+  with Subst.Type_error _ -> None (* symbolic constant met an arithmetic constraint *)
+
+(* one candidate derivation from explicitly chosen facts (used for fact
+   rules and by tests) *)
+let try_derive (rule : Rule.t) (choices : Fact.t list) : Fact.t option =
+  let rec go theta cstr body choices =
+    match (body, choices) with
+    | [], [] -> derive_head rule theta cstr
+    | lit :: brest, fact :: frest -> (
+        let flit, fcstr = fact_literal fact in
+        match Subst.unify_under theta lit flit with
+        | None -> None
+        | Some theta' -> go theta' (Conj.and_ cstr fcstr) brest frest)
+    | _ -> invalid_arg "try_derive: body/choices length mismatch"
+  in
+  go Subst.empty Conj.tt rule.Rule.body choices
+
+(* ----- evaluation loops ----- *)
+
+type budget = { mutable deriv_left : int }
+
+exception Budget_exhausted
+
+let store_find store pred = match StringMap.find_opt pred store with Some l -> l | None -> []
+
+let known_subsumes store f =
+  List.exists (fun (g, _) -> Fact.subsumes g f) (store_find store (Fact.pred f))
+
+(* facts of [pred] filtered by when they were added *)
+let candidates store pred ~min_iter ~max_iter =
+  List.filter_map
+    (fun (f, it) -> if it >= min_iter && it <= max_iter then Some f else None)
+    (store_find store pred)
+
+(* enumerate combinations with incremental unification: failed joins are
+   pruned before the cross-product expands *)
+let rec choose_combos store iter pivot idx body theta cstr used k =
+  match body with
+  | [] -> k theta cstr (List.rev used)
+  | (lit : Literal.t) :: rest ->
+      let min_iter, max_iter =
+        if pivot < 0 then (0, max_int) (* naive: everything *)
+        else if idx < pivot then (0, iter - 2)
+        else if idx = pivot then (iter - 1, iter - 1)
+        else (0, iter - 1)
+      in
+      let cands = candidates store lit.Literal.pred ~min_iter ~max_iter in
+      List.iter
+        (fun f ->
+          if Fact.matches_literal lit f then begin
+            let flit, fcstr = fact_literal f in
+            match Subst.unify_under theta lit flit with
+            | None -> ()
+            | Some theta' ->
+                choose_combos store iter pivot (idx + 1) rest theta' (Conj.and_ cstr fcstr)
+                  (f :: used) k
+          end)
+        cands
+
+let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : Program.t)
+    ~(edb : Fact.t list) =
+  let budget = { deriv_left = (match max_derivations with Some n -> n | None -> max_int) } in
+  let store = ref StringMap.empty in
+  let provenance = ref FactMap.empty in
+  let trace_rev = ref [] in
+  let derivations = ref 0 in
+  let facts_added = ref 0 in
+  let add_fact iter f =
+    (* back-subsumption: drop stored facts the new fact subsumes; safe for
+       semi-naive completeness because the new fact enters the delta *)
+    let l =
+      List.filter (fun (g, _) -> not (Fact.subsumes f g)) (store_find !store (Fact.pred f))
+    in
+    store := StringMap.add (Fact.pred f) ((f, iter) :: l) !store;
+    incr facts_added
+  in
+  let record iter label f subsumed =
+    incr derivations;
+    if traced then trace_rev := { iteration = iter; rule_label = label; fact = f; subsumed } :: !trace_rev;
+    budget.deriv_left <- budget.deriv_left - 1;
+    if budget.deriv_left <= 0 then raise Budget_exhausted
+  in
+  let remember label f used =
+    if not (FactMap.mem f !provenance) then
+      provenance := FactMap.add f (label, used) !provenance
+  in
+  (* iteration 0: EDB facts (untraced) + fact rules *)
+  List.iter
+    (fun f ->
+      if not (known_subsumes !store f) then begin
+        add_fact 0 f;
+        remember "edb" f []
+      end)
+    edb;
+  let fact_rules, body_rules = List.partition Rule.is_fact p.Program.rules in
+  List.iter
+    (fun (r : Rule.t) ->
+      match try_derive r [] with
+      | None -> ()
+      | Some f ->
+          let subsumed = known_subsumes !store f in
+          record 0 r.Rule.label f subsumed;
+          if not subsumed then begin
+            add_fact 0 f;
+            remember r.Rule.label f []
+          end)
+    fact_rules;
+  let iterations = ref 0 in
+  let fixpoint = ref false in
+  let result () =
+    {
+      store = !store;
+      provenance = !provenance;
+      stats =
+        {
+          iterations = !iterations;
+          derivations = !derivations;
+          facts_added = !facts_added;
+          reached_fixpoint = !fixpoint;
+        };
+      trace_rev = !trace_rev;
+    }
+  in
+  try
+    let continue_ = ref true in
+    while !continue_ do
+      let iter = !iterations + 1 in
+      (match max_iterations with
+      | Some cap when iter > cap ->
+          continue_ := false;
+          raise Exit
+      | _ -> ());
+      iterations := iter;
+      let produced = ref [] in
+      List.iter
+        (fun (r : Rule.t) ->
+          let nbody = List.length r.Rule.body in
+          let pivots = if seminaive then List.init nbody (fun j -> j) else [ -1 ] in
+          List.iter
+            (fun pivot ->
+              choose_combos !store iter pivot 0 r.Rule.body Subst.empty Conj.tt []
+                (fun theta cstr used ->
+                  match derive_head r theta cstr with
+                  | None -> ()
+                  | Some f -> produced := (r.Rule.label, f, used) :: !produced))
+            pivots)
+        body_rules;
+      let any_added = ref false in
+      List.iter
+        (fun (label, f, used) ->
+          let subsumed = known_subsumes !store f in
+          record iter label f subsumed;
+          if not subsumed then begin
+            add_fact iter f;
+            remember label f used;
+            any_added := true
+          end)
+        (List.rev !produced);
+      if not !any_added then begin
+        fixpoint := true;
+        continue_ := false
+      end
+    done;
+    result ()
+  with
+  | Exit -> result ()
+  | Budget_exhausted -> result ()
+
+let run ?max_iterations ?max_derivations ?traced p ~edb =
+  run_loop ~seminaive:true ?max_iterations ?max_derivations ?traced p ~edb
+
+let run_naive ?max_iterations ?max_derivations p ~edb =
+  run_loop ~seminaive:false ?max_iterations ?max_derivations ~traced:false p ~edb
+
+(* SCC-stratified evaluation: process the predicate dependency graph
+   callees-first, running the semi-naive loop once per stratum with all
+   earlier facts as input.  Same fixpoint; each stratum's rules only ever
+   see fully-computed lower strata, so no wasted re-derivation across strata. *)
+let run_stratified ?max_iterations ?max_derivations (p : Program.t) ~edb =
+  let g = Depgraph.of_program p in
+  let derived = Program.derived p in
+  let sccs =
+    List.filter (fun scc -> List.exists (fun x -> List.mem x derived) scc) (Depgraph.sccs g)
+  in
+  let deriv_budget = ref (match max_derivations with Some n -> n | None -> max_int) in
+  let facts = ref edb in
+  let derivations = ref 0 and facts_added = ref 0 and iterations = ref 0 in
+  let fixpoint = ref true in
+  let provs = ref [] in
+  let last = ref None in
+  List.iter
+    (fun scc ->
+      if !deriv_budget > 0 then begin
+        let rules =
+          List.filter
+            (fun (r : Rule.t) -> List.mem r.Rule.head.Literal.pred scc)
+            p.Program.rules
+        in
+        let sub = { p with Program.rules } in
+        let res =
+          run_loop ~seminaive:true ?max_iterations ~max_derivations:!deriv_budget
+            ~traced:false sub ~edb:!facts
+        in
+        deriv_budget := !deriv_budget - res.stats.derivations;
+        derivations := !derivations + res.stats.derivations;
+        facts_added := !facts_added + res.stats.facts_added - List.length !facts;
+        iterations := max !iterations res.stats.iterations;
+        if not res.stats.reached_fixpoint then fixpoint := false;
+        provs := res.provenance :: !provs;
+        facts := List.concat_map snd (all_facts res);
+        last := Some res
+      end
+      else fixpoint := false)
+    sccs;
+  match !last with
+  | None -> run ?max_iterations ?max_derivations p ~edb
+  | Some res ->
+      (* merge provenance, preferring the stratum that really derived a
+         fact over a later stratum seeing it as input *)
+      let provenance =
+        List.fold_left
+          (fun acc m ->
+            FactMap.union (fun _ a b -> if fst a = "edb" then Some b else Some a) acc m)
+          FactMap.empty (List.rev !provs)
+      in
+      {
+        res with
+        provenance;
+        stats =
+          {
+            iterations = !iterations;
+            derivations = !derivations;
+            facts_added = !facts_added + List.length edb;
+            reached_fixpoint = !fixpoint;
+          };
+      }

@@ -1,0 +1,29 @@
+type t = { fact : Fact.t; rule : string; children : t list }
+
+let tree ?(max_depth = 64) res root =
+  let rec build depth f =
+    match Engine.provenance res f with
+    | None -> { fact = f; rule = "?"; children = [] }
+    | Some (rule, used) ->
+        if depth >= max_depth then { fact = f; rule = "..."; children = [] }
+        else { fact = f; rule; children = List.map (build (depth + 1)) used }
+  in
+  match Engine.provenance res root with
+  | None -> None
+  | Some _ -> Some (build 0 root)
+
+let rec depth t =
+  1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.children
+
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+
+let rec facts t = t.fact :: List.concat_map facts t.children
+
+let pp fmt t =
+  let rec go indent t =
+    Format.fprintf fmt "%s%a   [%s]@." (String.make indent ' ') Fact.pp t.fact t.rule;
+    List.iter (go (indent + 2)) t.children
+  in
+  go 0 t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,35 @@
+(** Derivation trees (Definition 2.2 of the paper).
+
+    A derivation tree for a ground/constraint fact has the fact at the root
+    labelled with the rule that derived it, and one subtree per body fact
+    used.  Database facts are leaves.  The engine records the *first*
+    derivation of every stored fact, so each fact gets one canonical tree
+    (the paper's notion associates the set of all trees; one witness is what
+    query answering needs). *)
+
+type t = { fact : Fact.t; rule : string; children : t list }
+
+val tree : ?max_depth:int -> Engine.result -> Fact.t -> t option
+(** [tree res f] reconstructs the recorded derivation tree of [f].
+    [None] when [f] was never stored.  [max_depth] (default 64) guards
+    against pathological depth; deeper subtrees are truncated into leaves
+    labelled ["..."]. *)
+
+val depth : t -> int
+val size : t -> int
+(** Number of nodes. *)
+
+val facts : t -> Fact.t list
+(** All facts occurring in the tree, preorder. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented rendering:
+    {v
+    cheaporshort(madison, newyork, 190, 260)   [r2]
+      flight(madison, newyork, 190, 260)   [r4]
+        flight(madison, chicago, 50, 100)   [r3]
+          singleleg(madison, chicago, 50, 100)   [edb]
+        ...
+    v} *)
+
+val to_string : t -> string

@@ -1,0 +1,18 @@
+type t = Fact.t list (* newest first; no fact subsumed by another stored one *)
+
+let empty = []
+let size = List.length
+let facts r = r
+
+let mem_subsumed r f = List.exists (fun g -> Fact.subsumes g f) r
+
+let insert r f = if mem_subsumed r f then `Subsumed else `Added (f :: r)
+
+let of_list fs =
+  List.fold_left (fun r f -> match insert r f with `Added r' -> r' | `Subsumed -> r) empty fs
+
+let fold f r acc = List.fold_left (fun acc x -> f x acc) acc r
+let iter = List.iter
+
+let pp fmt r =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline Fact.pp fmt (List.rev r)

@@ -1,0 +1,24 @@
+(** Relations: finite sets of constraint facts per predicate, with
+    subsumption-based insertion.
+
+    Bottom-up evaluation compares each newly derived fact against the
+    previously derived ones; facts subsumed by an existing fact are
+    discarded and make no further derivations (the boldfaced rows of the
+    paper's Tables 1 and 2). *)
+
+type t
+
+val empty : t
+val size : t -> int
+val facts : t -> Fact.t list
+val mem_subsumed : t -> Fact.t -> bool
+(** Is the fact subsumed by (or equal to) a stored fact? *)
+
+val insert : t -> Fact.t -> [ `Added of t | `Subsumed ]
+
+val of_list : Fact.t list -> t
+(** Insert all, keeping only non-subsumed facts (order-dependent pruning). *)
+
+val fold : (Fact.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Fact.t -> unit) -> t -> unit
+val pp : Format.formatter -> t -> unit

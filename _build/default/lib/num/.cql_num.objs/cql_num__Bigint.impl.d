@@ -1,0 +1,1 @@
+lib/num/bigint.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/num/bigint.mli: Format

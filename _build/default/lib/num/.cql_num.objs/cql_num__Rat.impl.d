@@ -1,0 +1,1 @@
+lib/num/rat.ml: Bigint Format String

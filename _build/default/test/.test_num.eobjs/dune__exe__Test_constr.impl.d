@@ -1,0 +1,1 @@
+test/test_constr.ml: Alcotest Array Atom Conj Cql_constr Cql_num Cset Linexpr List QCheck QCheck_alcotest Rat Simplex Var

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Atom Conj Cql_constr Cql_datalog Cql_num Depgraph Linexpr List Literal Parser Program Rat Rule String Subst Term Var

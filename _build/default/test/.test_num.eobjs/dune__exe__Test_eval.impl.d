@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Atom Conj Cql_constr Cql_datalog Cql_eval Cql_num Engine Explain Fact Linexpr List Literal Parser Program Rat Relation Term Var

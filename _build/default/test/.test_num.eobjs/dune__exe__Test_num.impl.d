@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bigint Cql_num List Printf QCheck QCheck_alcotest Rat String

@@ -1,0 +1,550 @@
+(* Unit and property tests for the linear-arithmetic constraint solver:
+   linear expressions, atoms, conjunctions (Gauss + Fourier-Motzkin) and
+   DNF constraint sets. *)
+
+open Cql_num
+open Cql_constr
+module Q = Rat
+
+let x = Var.mk "X"
+let y = Var.mk "Y"
+let z = Var.mk "Z"
+let w = Var.mk "W"
+let vx = Linexpr.var x
+let vy = Linexpr.var y
+let vz = Linexpr.var z
+let n i = Linexpr.of_int i
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* evaluate expressions/atoms/conjunctions/csets at a point *)
+let eval_expr (env : Q.t Var.Map.t) e =
+  List.fold_left
+    (fun acc (v, c) -> Q.add acc (Q.mul c (Var.Map.find v env)))
+    (Linexpr.constant e) (Linexpr.terms e)
+
+let eval_atom env (a : Atom.t) =
+  let v = eval_expr env a.Atom.expr in
+  match a.Atom.op with
+  | Atom.Le -> Q.sign v <= 0
+  | Atom.Lt -> Q.sign v < 0
+  | Atom.Eq -> Q.sign v = 0
+
+let eval_conj env c = List.for_all (eval_atom env) (Conj.to_list c)
+let eval_cset env cs = List.exists (eval_conj env) (Cset.disjuncts cs)
+
+(* ----- Linexpr ----- *)
+
+let test_linexpr_basics () =
+  let e = Linexpr.of_terms [ (Q.of_int 2, x); (Q.of_int 3, y) ] (Q.of_int 5) in
+  check_bool "coeff x" true (Q.equal (Linexpr.coeff x e) (Q.of_int 2));
+  check_bool "coeff z" true (Q.is_zero (Linexpr.coeff z e));
+  check_bool "const" true (Q.equal (Linexpr.constant e) (Q.of_int 5));
+  let e2 = Linexpr.add e (Linexpr.term (Q.of_int (-2)) x) in
+  check_bool "x canceled" true (Q.is_zero (Linexpr.coeff x e2));
+  check_int "vars after cancel" 1 (Var.Set.cardinal (Linexpr.vars e2));
+  check_bool "sub self is zero" true (Linexpr.equal (Linexpr.sub e e) Linexpr.zero)
+
+let test_linexpr_subst () =
+  (* substitute X := Y + 1 in  2X + Z  ->  2Y + Z + 2 *)
+  let e = Linexpr.add (Linexpr.scale (Q.of_int 2) vx) vz in
+  let e' = Linexpr.subst x (Linexpr.add vy (n 1)) e in
+  check_bool "subst result" true
+    (Linexpr.equal e' (Linexpr.of_terms [ (Q.of_int 2, y); (Q.one, z) ] (Q.of_int 2)))
+
+let test_linexpr_integerize () =
+  (* (1/2)X + (1/3)Y - 1/6  scales to  3X + 2Y - 1 *)
+  let e = Linexpr.of_terms [ (Q.of_ints 1 2, x); (Q.of_ints 1 3, y) ] (Q.of_ints (-1) 6) in
+  let e' = Linexpr.integerize e in
+  check_bool "integerized" true
+    (Linexpr.equal e' (Linexpr.of_terms [ (Q.of_int 3, x); (Q.of_int 2, y) ] Q.minus_one));
+  (* common factors are divided out: 4X + 6Y -> 2X + 3Y *)
+  let f = Linexpr.of_terms [ (Q.of_int 4, x); (Q.of_int 6, y) ] Q.zero in
+  check_bool "gcd reduced" true
+    (Linexpr.equal (Linexpr.integerize f)
+       (Linexpr.of_terms [ (Q.of_int 2, x); (Q.of_int 3, y) ] Q.zero))
+
+let test_linexpr_rename () =
+  let e = Linexpr.add vx vy in
+  let renamed = Linexpr.rename (fun v -> if Var.equal v x then z else v) e in
+  check_bool "renamed" true (Linexpr.equal renamed (Linexpr.add vz vy));
+  (* non-injective renaming merges coefficients *)
+  let merged = Linexpr.rename (fun _ -> z) e in
+  check_bool "merged" true (Linexpr.equal merged (Linexpr.scale (Q.of_int 2) vz))
+
+(* ----- Atom ----- *)
+
+let test_atom_normalization () =
+  (* X >= 2 and -X <= -2 are the same atom *)
+  check_bool "ge as le" true (Atom.equal (Atom.ge vx (n 2)) (Atom.le (n 2) vx));
+  (* equalities have canonical sign: X = Y equals Y = X *)
+  check_bool "eq symmetric" true (Atom.equal (Atom.eq vx vy) (Atom.eq vy vx));
+  check_bool "tt" true (Atom.truth Atom.tt = Some true);
+  check_bool "ff" true (Atom.truth Atom.ff = Some false);
+  check_bool "const true atom" true (Atom.truth (Atom.le (n 1) (n 2)) = Some true);
+  check_bool "const false atom" true (Atom.truth (Atom.lt (n 2) (n 2)) = Some false);
+  check_bool "nonconst" true (Atom.truth (Atom.le vx (n 2)) = None)
+
+let test_atom_negate () =
+  let env = Var.Map.(add x (Q.of_int 3) empty) in
+  let a = Atom.le vx (n 3) in
+  (* X <= 3 is true at 3; its negation X > 3 must be false there *)
+  check_bool "le at boundary" true (eval_atom env a);
+  check_bool "negation at boundary" false
+    (List.exists (eval_atom env) (Atom.negate a));
+  let e = Atom.eq vx (n 5) in
+  check_int "eq negates to two atoms" 2 (List.length (Atom.negate e))
+
+(* ----- Conj: satisfiability ----- *)
+
+let conj atoms = Conj.of_list atoms
+
+let test_sat_basic () =
+  check_bool "tt sat" true (Conj.is_sat Conj.tt);
+  check_bool "ff unsat" false (Conj.is_sat Conj.ff);
+  check_bool "x<=0 & x>=1 unsat" false
+    (Conj.is_sat (conj [ Atom.le vx (n 0); Atom.ge vx (n 1) ]));
+  check_bool "x<=1 & x>=1 sat" true
+    (Conj.is_sat (conj [ Atom.le vx (n 1); Atom.ge vx (n 1) ]));
+  check_bool "x<1 & x>1 unsat" false
+    (Conj.is_sat (conj [ Atom.lt vx (n 1); Atom.gt vx (n 1) ]));
+  check_bool "x<=1 & x>1 unsat" false
+    (Conj.is_sat (conj [ Atom.le vx (n 1); Atom.gt vx (n 1) ]));
+  check_bool "strict cycle unsat" false
+    (Conj.is_sat (conj [ Atom.lt vx vy; Atom.lt vy vz; Atom.lt vz vx ]));
+  check_bool "nonstrict cycle sat" true
+    (Conj.is_sat (conj [ Atom.le vx vy; Atom.le vy vz; Atom.le vz vx ]));
+  check_bool "eq and lt conflict" false
+    (Conj.is_sat (conj [ Atom.eq vx vy; Atom.lt vx vy ]))
+
+let test_sat_arithmetic_chain () =
+  (* x + y <= 4, x >= 2, y >= 3 is unsat *)
+  check_bool "sum bound unsat" false
+    (Conj.is_sat (conj [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2); Atom.ge vy (n 3) ]));
+  (* x + y <= 4, x >= 2, y >= 2 is sat (exactly the corner) *)
+  check_bool "sum bound corner sat" true
+    (Conj.is_sat (conj [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2); Atom.ge vy (n 2) ]));
+  (* equalities chain: x = y+1, y = z+1, z = 5, x = 7 sat; x = 8 unsat *)
+  let base = [ Atom.eq vx (Linexpr.add vy (n 1)); Atom.eq vy (Linexpr.add vz (n 1)); Atom.eq vz (n 5) ] in
+  check_bool "eq chain sat" true (Conj.is_sat (conj (Atom.eq vx (n 7) :: base)));
+  check_bool "eq chain unsat" false (Conj.is_sat (conj (Atom.eq vx (n 8) :: base)))
+
+(* ----- Conj: projection ----- *)
+
+let test_project () =
+  (* exists Y. X + Y <= 6 & X >= 2 & Y >= 0  ->  2 <= X <= 6 *)
+  let c = conj [ Atom.le (Linexpr.add vx vy) (n 6); Atom.ge vx (n 2); Atom.ge vy (n 0) ] in
+  let p = Conj.project ~keep:(Var.Set.singleton x) c in
+  check_bool "projection keeps x bounds" true
+    (Conj.equiv p (conj [ Atom.ge vx (n 2); Atom.le vx (n 6) ]));
+  (* paper, Example 4.1: X + Y <= 6 & X >= 2 projected onto Y gives Y <= 4 *)
+  let c41 = conj [ Atom.le (Linexpr.add vx vy) (n 6); Atom.ge vx (n 2) ] in
+  let p41 = Conj.project ~keep:(Var.Set.singleton y) c41 in
+  check_bool "Y <= 4 (Example 4.1)" true (Conj.equiv p41 (conj [ Atom.le vy (n 4) ]));
+  (* projecting an unsatisfiable conjunction stays unsatisfiable *)
+  let bad = conj [ Atom.le vx (n 0); Atom.ge vx (n 1) ] in
+  check_bool "unsat projects to unsat" false
+    (Conj.is_sat (Conj.project ~keep:(Var.Set.singleton y) bad));
+  (* strictness is preserved through elimination: X < Y & Y <= 3 -> X < 3 *)
+  let s = conj [ Atom.lt vx vy; Atom.le vy (n 3) ] in
+  let ps = Conj.project ~keep:(Var.Set.singleton x) s in
+  check_bool "strict preserved" true (Conj.equiv ps (conj [ Atom.lt vx (n 3) ]));
+  check_bool "not weaker" false (Conj.implies (conj [ Atom.le vx (n 3) ]) ps)
+
+let test_project_equalities () =
+  (* exists Y. X = Y + 1 & Y = Z + 2  ->  X = Z + 3 *)
+  let c = conj [ Atom.eq vx (Linexpr.add vy (n 1)); Atom.eq vy (Linexpr.add vz (n 2)) ] in
+  let p = Conj.project ~keep:(Var.Set.of_list [ x; z ]) c in
+  check_bool "eq composition" true
+    (Conj.equiv p (conj [ Atom.eq vx (Linexpr.add vz (n 3)) ]))
+
+(* ----- Conj: implication & simplification ----- *)
+
+let test_implies () =
+  (* paper, after Definition 2.3: (X + Y <= 4) & (X >= 2) implies Y <= 2 *)
+  let c = conj [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2) ] in
+  check_bool "paper implication" true (Conj.implies_atom c (Atom.le vy (n 2)));
+  check_bool "not stronger" false (Conj.implies_atom c (Atom.lt vy (n 2)));
+  check_bool "self implication" true (Conj.implies c c);
+  check_bool "ff implies anything" true (Conj.implies Conj.ff (conj [ Atom.eq vx (n 99) ]));
+  check_bool "tt implies only trivial" false (Conj.implies Conj.tt (conj [ Atom.le vx (n 0) ]));
+  (* scaling invariance: 2X <= 4 implies X <= 2 and vice versa *)
+  let a = conj [ Atom.le (Linexpr.scale (Q.of_int 2) vx) (n 4) ] in
+  let b = conj [ Atom.le vx (n 2) ] in
+  check_bool "scaled equiv" true (Conj.equiv a b)
+
+let test_simplify () =
+  (* X <= 3 makes X <= 5 redundant *)
+  let c = conj [ Atom.le vx (n 3); Atom.le vx (n 5) ] in
+  let s = Conj.simplify c in
+  check_int "redundant dropped" 1 (Conj.size s);
+  check_bool "still equiv" true (Conj.equiv s c);
+  (* unsat simplifies to ff *)
+  check_bool "unsat to ff" true
+    (Conj.equal (Conj.simplify (conj [ Atom.le vx (n 0); Atom.ge vx (n 1) ])) Conj.ff);
+  (* implied sum: X <= 2 & Y <= 2 makes X + Y <= 4 redundant *)
+  let c2 = conj [ Atom.le vx (n 2); Atom.le vy (n 2); Atom.le (Linexpr.add vx vy) (n 4) ] in
+  check_int "sum dropped" 2 (Conj.size (Conj.simplify c2))
+
+(* ----- Cset ----- *)
+
+let test_cset_basics () =
+  check_bool "ff is ff" true (Cset.is_ff Cset.ff);
+  check_bool "tt is tt" true (Cset.is_tt Cset.tt);
+  (* unsat disjuncts are pruned *)
+  let cs = Cset.of_disjuncts [ conj [ Atom.le vx (n 0); Atom.ge vx (n 1) ] ] in
+  check_bool "pruned to ff" true (Cset.is_ff cs);
+  (* subsumed disjuncts are pruned: (X<=3) | (X<=5)  ->  X<=5 *)
+  let cs2 = Cset.or_ (Cset.of_conj (conj [ Atom.le vx (n 3) ])) (Cset.of_conj (conj [ Atom.le vx (n 5) ])) in
+  check_int "subsumption pruning" 1 (Cset.num_disjuncts cs2);
+  check_bool "kept the weaker" true
+    (Cset.equiv cs2 (Cset.of_conj (conj [ Atom.le vx (n 5) ])))
+
+let test_cset_implies () =
+  (* (X<=1) | (X>=5)  ⊨  (X<=2) | (X>=4) *)
+  let small = Cset.of_disjuncts [ conj [ Atom.le vx (n 1) ]; conj [ Atom.ge vx (n 5) ] ] in
+  let big = Cset.of_disjuncts [ conj [ Atom.le vx (n 2) ]; conj [ Atom.ge vx (n 4) ] ] in
+  check_bool "dnf implication holds" true (Cset.implies small big);
+  check_bool "dnf implication converse fails" false (Cset.implies big small);
+  (* a conjunction implying a *disjunction* without implying either disjunct:
+     0<=X<=10  ⊨  (X<=5) | (X>=5) *)
+  let mid = conj [ Atom.ge vx (n 0); Atom.le vx (n 10) ] in
+  let split = Cset.of_disjuncts [ conj [ Atom.le vx (n 5) ]; conj [ Atom.ge vx (n 5) ] ] in
+  check_bool "case split implication" true (Cset.conj_implies mid split);
+  check_bool "not via single disjunct (a)" false (Conj.implies mid (conj [ Atom.le vx (n 5) ]));
+  check_bool "strict gap fails" false
+    (Cset.conj_implies mid
+       (Cset.of_disjuncts [ conj [ Atom.lt vx (n 5) ]; conj [ Atom.gt vx (n 5) ] ]))
+
+let test_cset_and () =
+  let a = Cset.of_disjuncts [ conj [ Atom.le vx (n 1) ]; conj [ Atom.ge vx (n 5) ] ] in
+  let b = Cset.of_conj (conj [ Atom.ge vx (n 0) ]) in
+  let r = Cset.and_ a b in
+  (* (X<=1 | X>=5) & X>=0  =  (0<=X<=1) | (X>=5) *)
+  check_int "two disjuncts" 2 (Cset.num_disjuncts r);
+  check_bool "equiv" true
+    (Cset.equiv r
+       (Cset.of_disjuncts
+          [ conj [ Atom.ge vx (n 0); Atom.le vx (n 1) ]; conj [ Atom.ge vx (n 5) ] ]))
+
+let test_cset_disjointify () =
+  (* flight example shape: overlapping (T<=240) | (C<=150) with T,C > 0 *)
+  let t = Var.mk "T" and c = Var.mk "C" in
+  let vt = Linexpr.var t and vc = Linexpr.var c in
+  let d1 = conj [ Atom.gt vt (n 0); Atom.le vt (n 240); Atom.gt vc (n 0) ] in
+  let d2 = conj [ Atom.gt vt (n 0); Atom.gt vc (n 0); Atom.le vc (n 150) ] in
+  let cs = Cset.of_disjuncts [ d1; d2 ] in
+  let dj = Cset.disjointify cs in
+  check_bool "equivalent" true (Cset.equiv cs dj);
+  (* pairwise disjoint *)
+  let ds = Cset.disjuncts dj in
+  List.iteri
+    (fun i di ->
+      List.iteri
+        (fun j djj -> if i < j then check_bool "disjoint" false (Conj.is_sat (Conj.and_ di djj)))
+        ds)
+    ds
+
+let test_cset_weaken_to_one () =
+  let t = Var.mk "T" and c = Var.mk "C" in
+  let vt = Linexpr.var t and vc = Linexpr.var c in
+  let d1 = conj [ Atom.gt vt (n 0); Atom.le vt (n 240); Atom.gt vc (n 0) ] in
+  let d2 = conj [ Atom.gt vt (n 0); Atom.gt vc (n 0); Atom.le vc (n 150) ] in
+  let weak = Cset.weaken_to_one (Cset.of_disjuncts [ d1; d2 ]) in
+  (* Section 4.6: bounding to one disjunct yields ($3 > 0)&($4 > 0) *)
+  check_bool "weakened hull" true (Conj.equiv weak (conj [ Atom.gt vt (n 0); Atom.gt vc (n 0) ]));
+  check_bool "ff weakens to ff" true (Conj.equal (Cset.weaken_to_one Cset.ff) Conj.ff)
+
+(* ----- properties ----- *)
+
+let vars_pool = [| x; y; z; w |]
+
+let expr_gen =
+  QCheck.Gen.(
+    let coeff = map Q.of_int (int_range (-3) 3) in
+    let term = map2 (fun c i -> (c, vars_pool.(i))) coeff (int_range 0 3) in
+    map2 (fun ts k -> Linexpr.of_terms ts (Q.of_int k)) (list_size (int_range 1 3) term)
+      (int_range (-5) 5))
+
+let atom_gen =
+  QCheck.Gen.(
+    map2
+      (fun e op -> Atom.make e (match op with 0 -> Atom.Le | 1 -> Atom.Lt | _ -> Atom.Eq))
+      expr_gen (int_range 0 2))
+
+let conj_gen = QCheck.Gen.(map Conj.of_list (list_size (int_range 0 4) atom_gen))
+
+let point_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        List.fold_left2
+          (fun acc v q -> Var.Map.add v (Q.of_ints q 2) acc)
+          Var.Map.empty
+          (Array.to_list vars_pool) l)
+      (list_repeat 4 (int_range (-8) 8)))
+
+let conj_point = QCheck.make QCheck.Gen.(pair conj_gen point_gen)
+
+let prop_sat_sound =
+  QCheck.Test.make ~name:"point satisfying conj => is_sat" ~count:500 conj_point
+    (fun (c, env) ->
+      QCheck.assume (eval_conj env c);
+      Conj.is_sat c)
+
+let prop_project_sound =
+  QCheck.Test.make ~name:"projection preserves satisfying points" ~count:500 conj_point
+    (fun (c, env) ->
+      QCheck.assume (eval_conj env c);
+      let keep = Var.Set.of_list [ x; y ] in
+      eval_conj env (Conj.project ~keep c))
+
+let prop_implies_sound =
+  QCheck.Test.make ~name:"implication respected by points" ~count:300
+    (QCheck.make QCheck.Gen.(triple conj_gen conj_gen point_gen)) (fun (c, d, env) ->
+      QCheck.assume (Conj.implies c d);
+      QCheck.assume (eval_conj env c);
+      eval_conj env d)
+
+let prop_negate_complement =
+  QCheck.Test.make ~name:"atom negation is complement at points" ~count:500
+    (QCheck.make QCheck.Gen.(pair atom_gen point_gen)) (fun (a, env) ->
+      let na = List.exists (eval_atom env) (Atom.negate a) in
+      eval_atom env a = not na)
+
+let prop_simplify_equiv =
+  QCheck.Test.make ~name:"simplify preserves point semantics" ~count:300 conj_point
+    (fun (c, env) -> eval_conj env c = eval_conj env (Conj.simplify c))
+
+let prop_disjointify_equiv =
+  QCheck.Test.make ~name:"disjointify preserves point semantics" ~count:150
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 0 3) conj_gen) point_gen))
+    (fun (ds, env) ->
+      let cs = Cset.of_disjuncts ds in
+      eval_cset env cs = eval_cset env (Cset.disjointify cs))
+
+let prop_weaken_sound =
+  QCheck.Test.make ~name:"weaken_to_one is implied by the set" ~count:150
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 1 3) conj_gen) point_gen))
+    (fun (ds, env) ->
+      let cs = Cset.of_disjuncts ds in
+      QCheck.assume (eval_cset env cs);
+      eval_conj env (Cset.weaken_to_one cs))
+
+
+(* ----- additional coverage ----- *)
+
+let test_cset_negate_conj () =
+  (* ¬(1<=X<=3) = (X<1) | (X>3) *)
+  let c = conj [ Atom.ge vx (n 1); Atom.le vx (n 3) ] in
+  let neg = Cset.negate_conj c in
+  check_int "two disjuncts" 2 (Cset.num_disjuncts neg);
+  check_bool "covers below" true (Cset.conj_implies (conj [ Atom.lt vx (n 1) ]) neg);
+  check_bool "covers above" true (Cset.conj_implies (conj [ Atom.gt vx (n 3) ]) neg);
+  check_bool "excludes inside" false (Cset.conj_implies (conj [ Atom.eq vx (n 2) ]) neg);
+  (* ¬(X = 2) has two strict branches *)
+  let neq = Cset.negate_conj (conj [ Atom.eq vx (n 2) ]) in
+  check_int "eq negation" 2 (Cset.num_disjuncts neq);
+  (* negating true is false and vice versa *)
+  check_bool "neg tt is ff" true (Cset.is_ff (Cset.negate_conj Conj.tt))
+
+let test_cset_project () =
+  (* exists Y. (X <= Y & Y <= 2) | (X >= Y & Y >= 9)  =  (X <= 2) | (X >= 9) *)
+  let cs =
+    Cset.of_disjuncts
+      [ conj [ Atom.le vx vy; Atom.le vy (n 2) ]; conj [ Atom.ge vx vy; Atom.ge vy (n 9) ] ]
+  in
+  let p = Cset.project ~keep:(Var.Set.singleton x) cs in
+  check_bool "disjunctwise projection" true
+    (Cset.equiv p
+       (Cset.of_disjuncts [ conj [ Atom.le vx (n 2) ]; conj [ Atom.ge vx (n 9) ] ]))
+
+let test_equalities_everywhere () =
+  (* a system of equalities solved by substitution: X = 2Y, Y = Z + 1, Z = 3
+     implies X = 8 *)
+  let c =
+    conj
+      [ Atom.eq vx (Linexpr.scale (Q.of_int 2) vy);
+        Atom.eq vy (Linexpr.add vz (n 1));
+        Atom.eq vz (n 3) ]
+  in
+  check_bool "chain solved" true (Conj.implies_atom c (Atom.eq vx (n 8)));
+  check_bool "chain not over-solved" false (Conj.implies_atom c (Atom.eq vx (n 9)));
+  (* inconsistent equalities *)
+  let bad = Conj.add (Atom.eq vx (n 7)) c in
+  check_bool "inconsistent" false (Conj.is_sat bad)
+
+let test_scaled_atom_normalization () =
+  check_bool "2X <= 4 is X <= 2" true
+    (Atom.equal (Atom.le (Linexpr.scale (Q.of_int 2) vx) (n 4)) (Atom.le vx (n 2)));
+  check_bool "fractions normalize" true
+    (Atom.equal
+       (Atom.le (Linexpr.scale (Q.of_ints 1 3) vx) (Linexpr.const (Q.of_ints 2 3)))
+       (Atom.le vx (n 2)));
+  (* equalities: -X + Y = 0 same as X - Y = 0 *)
+  check_bool "eq sign canonical" true
+    (Atom.equal (Atom.eq (Linexpr.sub vy vx) (n 0)) (Atom.eq (Linexpr.sub vx vy) (n 0)))
+
+let test_unbounded_directions () =
+  (* only upper bounds: satisfiable (goes to -inf) *)
+  check_bool "upper only" true (Conj.is_sat (conj [ Atom.le vx (n 0); Atom.le vx vy ]));
+  (* x appears with same sign everywhere: eliminating drops all *)
+  let c = conj [ Atom.le vx vy; Atom.le vx vz ] in
+  let p = Conj.project ~keep:(Var.Set.of_list [ y; z ]) c in
+  check_bool "no residual constraint" true (Conj.is_tt (Conj.simplify p))
+
+
+(* ----- Simplex: the independent decision procedure ----- *)
+
+let test_simplex_units () =
+  let sat atoms = Simplex.is_sat atoms in
+  check_bool "empty sat" true (sat []);
+  check_bool "x<=0 & x>=1" false (sat [ Atom.le vx (n 0); Atom.ge vx (n 1) ]);
+  check_bool "x<=1 & x>=1" true (sat [ Atom.le vx (n 1); Atom.ge vx (n 1) ]);
+  check_bool "x<1 & x>=1" false (sat [ Atom.lt vx (n 1); Atom.ge vx (n 1) ]);
+  check_bool "strict cycle" false (sat [ Atom.lt vx vy; Atom.lt vy vz; Atom.lt vz vx ]);
+  check_bool "nonstrict cycle" true (sat [ Atom.le vx vy; Atom.le vy vz; Atom.le vz vx ]);
+  check_bool "eq chain" false
+    (sat
+       [ Atom.eq vx (Linexpr.add vy (n 1)); Atom.eq vy (Linexpr.add vz (n 1));
+         Atom.eq vz (n 5); Atom.eq vx (n 8) ]);
+  check_bool "sum corner" true
+    (sat [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2); Atom.ge vy (n 2) ]);
+  check_bool "sum over" false
+    (sat [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2); Atom.ge vy (n 3) ]);
+  check_bool "const false" false (sat [ Atom.ff ]);
+  (* a model is produced and satisfies the constraints up to epsilon *)
+  match Simplex.solve [ Atom.lt vx vy; Atom.le vy (n 3) ] with
+  | None -> Alcotest.fail "should be sat"
+  | Some asst ->
+      let value v = try List.assoc v asst with Not_found -> Simplex.Qeps.zero in
+      check_bool "x < y in the model" true
+        (Simplex.Qeps.compare (value x) (value y) < 0)
+
+let test_qeps_order () =
+  let open Simplex.Qeps in
+  let one = of_rat Q.one in
+  let one_minus_eps = { re = Q.one; eps = Q.minus_one } in
+  check_bool "1 - eps < 1" true (compare one_minus_eps one < 0);
+  check_bool "1 - eps > 0.999" true
+    (compare one_minus_eps (of_rat (Q.of_ints 999 1000)) > 0);
+  check_bool "scale flips sign" true
+    (compare (scale Q.minus_one one_minus_eps) zero < 0)
+
+(* the key property: simplex and Fourier-Motzkin agree on satisfiability *)
+let bigger_conj_gen =
+  QCheck.Gen.(map (fun l -> l) (list_size (int_range 0 8) atom_gen))
+
+let prop_simplex_agrees_fm =
+  QCheck.Test.make ~name:"simplex agrees with Fourier-Motzkin" ~count:2000
+    (QCheck.make bigger_conj_gen) (fun atoms ->
+      (* Conj.is_sat now uses simplex itself; compare against the
+         Fourier-Motzkin eliminator directly: projecting onto no variables
+         yields the empty (true) conjunction iff satisfiable *)
+      let fm_sat = Conj.is_tt (Conj.project ~keep:Var.Set.empty (Conj.of_list atoms)) in
+      Simplex.is_sat atoms = fm_sat)
+
+let prop_simplex_model_satisfies =
+  QCheck.Test.make ~name:"simplex models satisfy non-strict atoms" ~count:500
+    (QCheck.make bigger_conj_gen) (fun atoms ->
+      match Simplex.solve atoms with
+      | None -> QCheck.assume_fail ()
+      | Some asst ->
+          (* at eps = 0 all non-strict constraints must hold exactly *)
+          let env v =
+            match List.assoc_opt v asst with
+            | Some q -> Q.add q.Simplex.Qeps.re (Q.mul (Q.of_ints 1 1000000) q.Simplex.Qeps.eps)
+            | None -> Q.zero
+          in
+          List.for_all
+            (fun (a : Atom.t) ->
+              match a.Atom.op with
+              | Atom.Le | Atom.Eq ->
+                  (* evaluate with tiny epsilon; non-strict atoms must hold
+                     for every sufficiently small eps, in particular this one
+                     if coefficients are moderate *)
+                  eval_atom (List.fold_left (fun m v -> Var.Map.add v (env v) m) Var.Map.empty
+                               (Var.Set.elements (Atom.vars a))) a
+              | Atom.Lt -> true)
+            atoms)
+
+let prop_cset_or_is_union =
+  QCheck.Test.make ~name:"cset or is pointwise union" ~count:200
+    (QCheck.make QCheck.Gen.(triple conj_gen conj_gen point_gen)) (fun (a, b, env) ->
+      let u = Cset.or_ (Cset.of_conj a) (Cset.of_conj b) in
+      eval_cset env u = (eval_conj env a || eval_conj env b))
+
+let prop_cset_and_is_intersection =
+  QCheck.Test.make ~name:"cset and is pointwise intersection" ~count:200
+    (QCheck.make QCheck.Gen.(triple conj_gen conj_gen point_gen)) (fun (a, b, env) ->
+      let u = Cset.and_ (Cset.of_conj a) (Cset.of_conj b) in
+      eval_cset env u = (eval_conj env a && eval_conj env b))
+
+let prop_negate_conj_complement =
+  QCheck.Test.make ~name:"negate_conj is pointwise complement" ~count:200
+    (QCheck.make QCheck.Gen.(pair conj_gen point_gen)) (fun (c, env) ->
+      eval_cset env (Cset.negate_conj c) = not (eval_conj env c))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "constr"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "basics" `Quick test_linexpr_basics;
+          Alcotest.test_case "subst" `Quick test_linexpr_subst;
+          Alcotest.test_case "integerize" `Quick test_linexpr_integerize;
+          Alcotest.test_case "rename" `Quick test_linexpr_rename;
+        ] );
+      ( "atom",
+        [
+          Alcotest.test_case "normalization" `Quick test_atom_normalization;
+          Alcotest.test_case "negate" `Quick test_atom_negate;
+        ] );
+      ( "conj",
+        [
+          Alcotest.test_case "sat basics" `Quick test_sat_basic;
+          Alcotest.test_case "sat arithmetic chains" `Quick test_sat_arithmetic_chain;
+          Alcotest.test_case "projection" `Quick test_project;
+          Alcotest.test_case "projection equalities" `Quick test_project_equalities;
+          Alcotest.test_case "implication" `Quick test_implies;
+          Alcotest.test_case "simplify" `Quick test_simplify;
+        ] );
+      ( "cset",
+        [
+          Alcotest.test_case "basics" `Quick test_cset_basics;
+          Alcotest.test_case "implication" `Quick test_cset_implies;
+          Alcotest.test_case "conjunction" `Quick test_cset_and;
+          Alcotest.test_case "disjointify" `Quick test_cset_disjointify;
+          Alcotest.test_case "weaken_to_one" `Quick test_cset_weaken_to_one;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "units" `Quick test_simplex_units;
+          Alcotest.test_case "qeps ordering" `Quick test_qeps_order;
+        ] );
+      ( "extra",
+        [
+          Alcotest.test_case "negate_conj" `Quick test_cset_negate_conj;
+          Alcotest.test_case "cset projection" `Quick test_cset_project;
+          Alcotest.test_case "equalities" `Quick test_equalities_everywhere;
+          Alcotest.test_case "atom scaling" `Quick test_scaled_atom_normalization;
+          Alcotest.test_case "unbounded directions" `Quick test_unbounded_directions;
+        ] );
+      ( "properties",
+        qt
+          [
+            prop_simplex_agrees_fm;
+            prop_simplex_model_satisfies;
+            prop_cset_or_is_union;
+            prop_cset_and_is_intersection;
+            prop_negate_conj_complement;
+            prop_sat_sound;
+            prop_project_sound;
+            prop_implies_sound;
+            prop_negate_complement;
+            prop_simplify_equiv;
+            prop_disjointify_equiv;
+            prop_weaken_sound;
+          ] );
+    ]

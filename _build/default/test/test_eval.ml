@@ -1,0 +1,439 @@
+(* Tests for the bottom-up evaluation engine: constraint facts, subsumption,
+   relations, semi-naive and naive fixpoint evaluation. *)
+
+open Cql_num
+open Cql_constr
+open Cql_datalog
+open Cql_eval
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Parser.program_of_string
+let facts = Parser.facts_of_string
+let edb_of s = List.map Fact.of_fact_rule (facts s)
+
+(* ----- facts ----- *)
+
+let test_fact_ground () =
+  let f = Fact.ground "edge" [ Term.Sym "a"; Term.Num (Rat.of_int 3) ] in
+  check_bool "ground" true (Fact.is_ground f);
+  check_bool "value" true (Fact.ground_value f 2 = Some (Rat.of_int 3));
+  check_bool "sym has no value" true (Fact.ground_value f 1 = None);
+  Alcotest.(check string) "print" "edge(a, 3)" (Fact.to_string f)
+
+let test_fact_constraint () =
+  let r = Parser.rule_of_string "p(X, Y; X <= Y, Y <= 4)." in
+  let f = Fact.of_fact_rule r in
+  check_bool "not ground" false (Fact.is_ground f);
+  check_bool "no pinned value" true (Fact.ground_value f 1 = None);
+  (* $1 <= $2 and $2 <= 4 hold *)
+  let c = Fact.cstr f in
+  check_bool "implies $1 <= 4" true
+    (Conj.implies_atom c (Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int 4)))
+
+let test_fact_unsat () =
+  check_bool "unsat fact rejected" true
+    (match Fact.of_fact_rule (Parser.rule_of_string "p(X; X <= 1, X >= 2).") with
+    | exception Fact.Unsat -> true
+    | _ -> false)
+
+let test_fact_repeated_vars () =
+  (* p(X, X) pins $1 = $2 *)
+  let f = Fact.of_fact_rule (Parser.rule_of_string "p(X, X; X >= 1).") in
+  check_bool "$1 = $2" true
+    (Conj.implies_atom (Fact.cstr f) (Atom.eq (Linexpr.var (Var.arg 1)) (Linexpr.var (Var.arg 2))))
+
+let test_subsumption () =
+  let fa = Fact.of_fact_rule (Parser.rule_of_string "p(X; X <= 2).") in
+  let fb = Fact.of_fact_rule (Parser.rule_of_string "p(X; X <= 4).") in
+  check_bool "wider subsumes narrower" true (Fact.subsumes fb fa);
+  check_bool "narrower does not subsume" false (Fact.subsumes fa fb);
+  let g = Fact.ground "p" [ Term.Num Rat.one ] in
+  check_bool "constraint fact subsumes ground instance" true (Fact.subsumes fb g);
+  let s1 = Fact.ground "p" [ Term.Sym "a" ] in
+  let s2 = Fact.ground "p" [ Term.Sym "b" ] in
+  check_bool "different syms incomparable" false (Fact.subsumes s1 s2);
+  check_bool "sym vs numeric incomparable" false (Fact.subsumes s1 g)
+
+let test_relation () =
+  let fa = Fact.of_fact_rule (Parser.rule_of_string "p(X; X <= 2).") in
+  let fb = Fact.of_fact_rule (Parser.rule_of_string "p(X; X <= 4).") in
+  let r = Relation.empty in
+  let r = match Relation.insert r fb with `Added r -> r | `Subsumed -> Alcotest.fail "add" in
+  check_bool "subsumed insert" true (Relation.insert r fa = `Subsumed);
+  check_int "size" 1 (Relation.size r)
+
+(* ----- evaluation: transitive closure over ground facts ----- *)
+
+let tc_src = {|
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+#query path.
+|}
+
+let test_transitive_closure () =
+  let p = parse tc_src in
+  let edb = edb_of "edge(a, b). edge(b, c). edge(c, d)." in
+  let res = Engine.run ~traced:true p ~edb in
+  check_int "paths" 6 (List.length (Engine.facts_of res "path"));
+  check_bool "fixpoint" true (Engine.stats res).Engine.reached_fixpoint;
+  check_bool "all ground" true (Engine.all_ground res);
+  (* naive agrees *)
+  let res_naive = Engine.run_naive p ~edb in
+  check_int "naive paths" 6 (List.length (Engine.facts_of res_naive "path"))
+
+(* ----- evaluation: arithmetic (flights) ----- *)
+
+let flights_src =
+  {|
+r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+r3: flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost), Cost > 0, Time > 0.
+r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                          T = T1 + T2 + 30, C = C1 + C2.
+#query cheaporshort.
+|}
+
+let test_flights_arithmetic () =
+  let p = parse flights_src in
+  let edb =
+    edb_of
+      {|
+singleleg(madison, chicago, 50, 100).
+singleleg(chicago, seattle, 230, 90).
+|}
+  in
+  let res = Engine.run p ~edb in
+  check_bool "ground only" true (Engine.all_ground res);
+  let flights = Engine.facts_of res "flight" in
+  check_int "three flights" 3 (List.length flights);
+  (* the composite flight madison->seattle takes 50+230+30 = 310, costs 190 *)
+  let composite =
+    List.find
+      (fun f -> Fact.ground_value f 3 = Some (Rat.of_int 310))
+      flights
+  in
+  check_bool "cost 190" true (Fact.ground_value composite 4 = Some (Rat.of_int 190));
+  (* it is neither cheap nor short, so cheaporshort has only the two legs *)
+  check_int "cheaporshort" 2 (List.length (Engine.facts_of res "cheaporshort"))
+
+let test_flights_pruning_edb () =
+  (* nonpositive-time/cost singlelegs are filtered by r3's constraints *)
+  let p = parse flights_src in
+  let edb = edb_of "singleleg(a, b, 0, 10). singleleg(b, c, 10, -5). singleleg(c, d, 1, 1)." in
+  let res = Engine.run p ~edb in
+  check_int "one flight" 1 (List.length (Engine.facts_of res "flight"))
+
+(* ----- evaluation: constraint facts & subsumption during evaluation ----- *)
+
+let test_constraint_fact_evaluation () =
+  let p = parse {|
+q(X) :- p(X), X >= 1.
+p(X) :- base(X; X <= 10).
+#query q.
+|} in
+  (* base is a constraint fact supplied in the program itself (via EDB) *)
+  let edb = edb_of "base(X; X <= 10)." in
+  let res = Engine.run p ~edb in
+  (match Engine.facts_of res "q" with
+  | [ f ] ->
+      check_bool "q constrained both sides" true
+        (Conj.equiv (Fact.cstr f)
+           (Conj.of_list
+              [ Atom.ge (Linexpr.var (Var.arg 1)) (Linexpr.of_int 1);
+                Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int 10) ]))
+  | l -> Alcotest.failf "expected one q fact, got %d" (List.length l));
+  check_bool "not ground" false (Engine.all_ground res)
+
+let test_subsumption_during_evaluation () =
+  (* p(X; X<=5) subsumes p(X; X<=3); only one stored *)
+  let p = parse {|
+p(X) :- a(X; X <= 5).
+p(X) :- a(X; X <= 3).
+#query p.
+|} in
+  let edb = edb_of "a(X; X <= 5)." in
+  let res = Engine.run ~traced:true p ~edb in
+  check_int "one p fact" 1 (List.length (Engine.facts_of res "p"));
+  let subsumed = List.filter (fun (t : Engine.trace_entry) -> t.Engine.subsumed) (Engine.trace res) in
+  check_int "one subsumed derivation" 1 (List.length subsumed)
+
+(* ----- evaluation: non-termination budgets (backward fib, Table 1) ----- *)
+
+let fib_src = {|
+r1: fib(0, 1).
+r2: fib(1, 1).
+r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+#query fib.
+|}
+
+let test_fib_forward_style () =
+  (* plain fib program diverges bottom-up; budget stops it *)
+  let p = parse fib_src in
+  let res = Engine.run ~max_iterations:6 p ~edb:[] in
+  check_bool "budget hit" false (Engine.stats res).Engine.reached_fixpoint;
+  let fibs = Engine.facts_of res "fib" in
+  (* fib(4,5) must be among the computed facts after 6 iterations *)
+  check_bool "fib(4,5) computed" true
+    (List.exists
+       (fun f -> Fact.ground_value f 1 = Some (Rat.of_int 4) && Fact.ground_value f 2 = Some (Rat.of_int 5))
+       fibs)
+
+let test_derivation_budget () =
+  let p = parse fib_src in
+  let res = Engine.run ~max_derivations:10 p ~edb:[] in
+  check_bool "stopped by derivations" false (Engine.stats res).Engine.reached_fixpoint;
+  check_bool "at most 10" true ((Engine.stats res).Engine.derivations <= 10)
+
+(* ----- semi-naive vs naive cross-check ----- *)
+
+let relations_equivalent res1 res2 preds =
+  List.for_all
+    (fun pred ->
+      let f1 = Engine.facts_of res1 pred and f2 = Engine.facts_of res2 pred in
+      List.for_all (fun f -> List.exists (fun g -> Fact.subsumes g f) f2) f1
+      && List.for_all (fun f -> List.exists (fun g -> Fact.subsumes g f) f1) f2)
+    preds
+
+let test_seminaive_vs_naive () =
+  let p = parse tc_src in
+  let edb = edb_of "edge(a, b). edge(b, c). edge(c, a). edge(c, d)." in
+  let r1 = Engine.run p ~edb in
+  let r2 = Engine.run_naive p ~edb in
+  check_bool "cyclic graph agrees" true (relations_equivalent r1 r2 [ "path" ]);
+  let pf = parse flights_src in
+  let edbf = edb_of "singleleg(a, b, 100, 60). singleleg(b, a, 90, 70). singleleg(b, c, 20, 20)." in
+  let r3 = Engine.run ~max_iterations:8 pf ~edb:edbf in
+  let r4 = Engine.run_naive ~max_iterations:8 pf ~edb:edbf in
+  (* cyclic flights diverge (times grow unboundedly); compare the prefix *)
+  check_bool "flights prefixes agree" true
+    ((Engine.stats r3).Engine.reached_fixpoint = (Engine.stats r4).Engine.reached_fixpoint)
+
+(* iteration counting: paths in a chain of length n need n iterations *)
+let test_iteration_count () =
+  let p = parse tc_src in
+  let edb = edb_of "edge(a, b). edge(b, c). edge(c, d). edge(d, e)." in
+  let res = Engine.run p ~edb in
+  (* longest path a->e uses 4 edges: derived at iteration 4; fixpoint at 5 *)
+  check_int "iterations" 5 (Engine.stats res).Engine.iterations;
+  check_int "ten paths" 10 (List.length (Engine.facts_of res "path"))
+
+
+(* ----- additional engine coverage ----- *)
+
+let test_facts_only_program () =
+  (* a program of constraint facts only reaches fixpoint at iteration 1 *)
+  let p = parse "p(1, 2). p(X, Y; X <= Y). #query p." in
+  let res = Engine.run ~traced:true p ~edb:[] in
+  check_bool "fixpoint" true (Engine.stats res).Engine.reached_fixpoint;
+  (* the ground fact is subsumed by the constraint fact *)
+  check_int "one stored fact" 1 (List.length (Engine.facts_of res "p"))
+
+let test_empty_program () =
+  let p = Program.make [] in
+  let res = Engine.run p ~edb:[] in
+  check_int "no facts" 0 (Engine.total_facts res);
+  check_bool "fixpoint immediately" true (Engine.stats res).Engine.reached_fixpoint
+
+let test_duplicate_edb_dedup () =
+  let p = parse "q(X) :- e(X). #query q." in
+  let edb = edb_of "e(1). e(1). e(1)." in
+  let res = Engine.run p ~edb in
+  check_int "edb deduped" 1 (List.length (Engine.facts_of res "e"));
+  check_int "one answer" 1 (List.length (Engine.facts_of res "q"))
+
+let test_symbolic_in_arithmetic_prunes () =
+  (* data feeding a symbol into an arithmetic position cannot derive *)
+  let p = parse "q(X) :- e(X), X <= 3. #query q." in
+  let edb = edb_of "e(apple). e(2)." in
+  let res = Engine.run p ~edb in
+  check_int "only numeric row" 1 (List.length (Engine.facts_of res "q"))
+
+let test_repeated_vars_in_body () =
+  (* p(X, X) only matches facts whose two columns are equal *)
+  let p = parse "q(X) :- e(X, X). #query q." in
+  let edb = edb_of "e(1, 1). e(1, 2). e(a, a). e(a, b)." in
+  let res = Engine.run p ~edb in
+  check_int "two diagonal matches" 2 (List.length (Engine.facts_of res "q"))
+
+let test_constants_in_rule_body () =
+  let p = parse "q(X) :- e(a, X, 3). #query q." in
+  let edb = edb_of "e(a, u, 3). e(a, v, 4). e(b, w, 3)." in
+  let res = Engine.run p ~edb in
+  check_int "constant filters" 1 (List.length (Engine.facts_of res "q"))
+
+let test_constraint_fact_join () =
+  (* joining two constraint facts intersects their constraints *)
+  let p = parse "q(X) :- lo(X), hi(X). #query q." in
+  let edb = edb_of "lo(X; X >= 2). hi(X; X <= 5)." in
+  let res = Engine.run p ~edb in
+  (match Engine.facts_of res "q" with
+  | [ f ] ->
+      check_bool "interval [2,5]" true
+        (Conj.equiv (Fact.cstr f)
+           (Conj.of_list
+              [ Atom.ge (Linexpr.var (Var.arg 1)) (Linexpr.of_int 2);
+                Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int 5) ]))
+  | l -> Alcotest.failf "expected 1 fact, got %d" (List.length l));
+  (* disjoint intervals derive nothing *)
+  let edb2 = edb_of "lo(X; X >= 7). hi(X; X <= 5)." in
+  let res2 = Engine.run p ~edb:edb2 in
+  check_int "disjoint join empty" 0 (List.length (Engine.facts_of res2 "q"))
+
+let test_projection_in_heads () =
+  (* head drops a column; the constraint on the dropped var is projected *)
+  let p = parse "q(X) :- e(X, Y), X <= Y, Y <= 10. #query q." in
+  let edb = edb_of "e(X, Y; Y >= 4)." in
+  let res = Engine.run p ~edb in
+  (match Engine.facts_of res "q" with
+  | [ f ] ->
+      (* exists Y. X <= Y <= 10 & Y >= 4  gives  X <= 10 *)
+      check_bool "projected bound" true
+        (Conj.equiv (Fact.cstr f)
+           (Conj.of_list [ Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int 10) ]))
+  | l -> Alcotest.failf "expected 1 fact, got %d" (List.length l))
+
+let test_zero_arity_predicates () =
+  let p = parse "go :- e(X), X >= 1.\nq(X) :- go, e(X). #query q." in
+  let edb = edb_of "e(0). e(3)." in
+  let res = Engine.run p ~edb in
+  check_int "go derived once" 1 (List.length (Engine.facts_of res "go"));
+  check_int "q has both rows" 2 (List.length (Engine.facts_of res "q"))
+
+
+(* ----- provenance / derivation trees (Definition 2.2) ----- *)
+
+let test_derivation_tree () =
+  let p = parse flights_src in
+  let edb =
+    edb_of "singleleg(madison, chicago, 50, 100).\nsingleleg(chicago, seattle, 100, 80)."
+  in
+  let res = Engine.run p ~edb in
+  (* the composite madison->seattle flight: 50+100+30 = 180, 100+80 = 180 *)
+  let composite =
+    List.find
+      (fun f -> Fact.ground_value f 3 = Some (Rat.of_int 180))
+      (Engine.facts_of res "flight")
+  in
+  (match Explain.tree res composite with
+  | None -> Alcotest.fail "no derivation tree"
+  | Some t ->
+      check_bool "root rule r4" true (t.Explain.rule = "r4");
+      check_int "two flight children" 2 (List.length t.Explain.children);
+      check_int "tree depth" 3 (Explain.depth t);
+      check_int "tree size" 5 (Explain.size t);
+      (* leaves are EDB singleleg facts *)
+      let rec leaves (n : Explain.t) =
+        if n.Explain.children = [] then [ n ] else List.concat_map leaves n.Explain.children
+      in
+      List.iter
+        (fun (l : Explain.t) ->
+          check_bool "leaf is edb" true (l.Explain.rule = "edb");
+          check_bool "leaf is singleleg" true (Fact.pred l.Explain.fact = "singleleg"))
+        (leaves t));
+  (* unknown facts have no tree *)
+  check_bool "unknown fact" true (Explain.tree res (Fact.ground "flight" [ Term.Sym "x"; Term.Sym "y"; Term.Num Rat.one; Term.Num Rat.one ]) = None)
+
+let test_matches_literal () =
+  let f = Fact.ground "e" [ Term.Sym "a"; Term.Num (Rat.of_int 3) ] in
+  let lit args = Literal.make "e" args in
+  check_bool "exact" true (Fact.matches_literal (lit [ Term.sym "a"; Term.int 3 ]) f);
+  check_bool "wrong sym" false (Fact.matches_literal (lit [ Term.sym "b"; Term.int 3 ]) f);
+  check_bool "wrong num" false (Fact.matches_literal (lit [ Term.sym "a"; Term.int 4 ]) f);
+  check_bool "vars always ok" true
+    (Fact.matches_literal (lit [ Term.var (Var.fresh "X"); Term.var (Var.fresh "Y") ]) f);
+  check_bool "arity mismatch" false (Fact.matches_literal (Literal.make "e" [ Term.int 3 ]) f);
+  (* unpinned numeric position matches any numeric constant *)
+  let cf = Fact.of_fact_rule (Parser.rule_of_string "e(a, X; X <= 9).") in
+  check_bool "unpinned accepts constant" true
+    (Fact.matches_literal (lit [ Term.sym "a"; Term.int 3 ]) cf)
+
+(* ----- stratified evaluation ----- *)
+
+let test_stratified_same_results () =
+  let p = parse flights_src in
+  let edb =
+    edb_of
+      {|
+singleleg(madison, chicago, 50, 100).
+singleleg(chicago, seattle, 100, 80).
+singleleg(seattle, anchorage, 60, 40).
+|}
+  in
+  let r1 = Engine.run p ~edb in
+  let r2 = Engine.run_stratified p ~edb in
+  List.iter
+    (fun pred ->
+      check_int (pred ^ " counts agree")
+        (List.length (Engine.facts_of r1 pred))
+        (List.length (Engine.facts_of r2 pred)))
+    [ "flight"; "cheaporshort" ];
+  check_bool "fixpoint" true (Engine.stats r2).Engine.reached_fixpoint;
+  (* provenance survives stratification *)
+  let ans = List.hd (Engine.facts_of r2 "cheaporshort") in
+  check_bool "tree exists" true (Explain.tree r2 ans <> None)
+
+let test_stratified_multi_scc () =
+  let p = parse {|
+top(X) :- mid(X), X <= 50.
+mid(X) :- base(X).
+mid(X) :- mid(Y), X = Y + 10, X <= 100.
+base(X) :- e(X).
+#query top.
+|} in
+  let edb = edb_of "e(5). e(95)." in
+  let r1 = Engine.run p ~edb in
+  let r2 = Engine.run_stratified p ~edb in
+  check_int "same top facts" (List.length (Engine.facts_of r1 "top"))
+    (List.length (Engine.facts_of r2 "top"));
+  check_int "same mid facts" (List.length (Engine.facts_of r1 "mid"))
+    (List.length (Engine.facts_of r2 "mid"));
+  (* budget respected across strata *)
+  let r3 = Engine.run_stratified ~max_derivations:5 p ~edb in
+  check_bool "budget stops" false (Engine.stats r3).Engine.reached_fixpoint
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "facts",
+        [
+          Alcotest.test_case "ground facts" `Quick test_fact_ground;
+          Alcotest.test_case "constraint facts" `Quick test_fact_constraint;
+          Alcotest.test_case "unsat rejected" `Quick test_fact_unsat;
+          Alcotest.test_case "repeated vars" `Quick test_fact_repeated_vars;
+          Alcotest.test_case "subsumption" `Quick test_subsumption;
+          Alcotest.test_case "relations" `Quick test_relation;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "derivation tree" `Quick test_derivation_tree;
+          Alcotest.test_case "matches_literal" `Quick test_matches_literal;
+          Alcotest.test_case "stratified same results" `Quick test_stratified_same_results;
+          Alcotest.test_case "stratified multi-SCC" `Quick test_stratified_multi_scc;
+        ] );
+      ( "engine-extra",
+        [
+          Alcotest.test_case "facts-only program" `Quick test_facts_only_program;
+          Alcotest.test_case "empty program" `Quick test_empty_program;
+          Alcotest.test_case "duplicate EDB dedup" `Quick test_duplicate_edb_dedup;
+          Alcotest.test_case "symbol in arithmetic prunes" `Quick test_symbolic_in_arithmetic_prunes;
+          Alcotest.test_case "repeated body vars" `Quick test_repeated_vars_in_body;
+          Alcotest.test_case "constants in body" `Quick test_constants_in_rule_body;
+          Alcotest.test_case "constraint fact join" `Quick test_constraint_fact_join;
+          Alcotest.test_case "head projection" `Quick test_projection_in_heads;
+          Alcotest.test_case "zero-arity predicates" `Quick test_zero_arity_predicates;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "flights arithmetic" `Quick test_flights_arithmetic;
+          Alcotest.test_case "flights EDB pruning" `Quick test_flights_pruning_edb;
+          Alcotest.test_case "constraint facts in evaluation" `Quick test_constraint_fact_evaluation;
+          Alcotest.test_case "subsumption during evaluation" `Quick test_subsumption_during_evaluation;
+          Alcotest.test_case "fib diverges, budget stops" `Quick test_fib_forward_style;
+          Alcotest.test_case "derivation budget" `Quick test_derivation_budget;
+          Alcotest.test_case "semi-naive vs naive" `Quick test_seminaive_vs_naive;
+          Alcotest.test_case "iteration counts" `Quick test_iteration_count;
+        ] );
+    ]
