@@ -10,7 +10,8 @@
    Usage:
      dune exec bench/main.exe              run every experiment
      dune exec bench/main.exe -- <id>...   run selected experiments
-     dune exec bench/main.exe -- time      Bechamel wall-clock timings *)
+     dune exec bench/main.exe -- time      Bechamel wall-clock timings
+     dune exec bench/main.exe -- json      write BENCH_results.json *)
 
 open Cql_num
 open Cql_constr
@@ -543,10 +544,8 @@ a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.
 
 (* ----- Bechamel timings ----- *)
 
-let run_timings () =
-  header "WALL-CLOCK TIMINGS (Bechamel, monotonic clock)";
+let timing_tests () =
   let open Bechamel in
-  let open Bechamel.Toolkit in
   let edb8 = singleleg_edb 108 8 in
   let flights = parse flights_src in
   let flights', _ = Rewrite.constraint_rewrite flights in
@@ -554,9 +553,8 @@ let run_timings () =
   let d1edb = segments_edb 4 3 in
   let d1qm, _ = Rewrite.sequence [ Rewrite.Qrp; magic_ff ] d1 in
   let d1mq, _ = Rewrite.sequence [ magic_ff; Rewrite.Qrp ] d1 in
-  let tests =
-    [
-      Test.make ~name:"rewrite/constraint_rewrite(flights)"
+  [
+    Test.make ~name:"rewrite/constraint_rewrite(flights)"
         (Staged.stage (fun () -> ignore (Rewrite.constraint_rewrite flights)));
       Test.make ~name:"rewrite/gmt(ex61)"
         (Staged.stage (fun () -> ignore (Gmt.pipeline ~query_adornment:"ff" (parse ex61_src))));
@@ -594,26 +592,205 @@ let run_timings () =
                conj [ Atom.le (Linexpr.add (arg 1) (arg 2)) (n 6); Atom.ge (arg 1) (n 2) ]
              in
              ignore (Conj.implies_atom c (Atom.le (arg 2) (n 4)))));
-    ]
-  in
+  ]
+
+(* [measure_timings tests] is [(name, ns-per-run option)] in test order *)
+let measure_timings tests =
+  let open Bechamel in
+  let open Bechamel.Toolkit in
   let instance = Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  Printf.printf "  %-40s %16s\n" "benchmark" "time/run";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
       let analyzed = Analyze.all ols instance results in
-      Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] ->
-              if ns > 1_000_000.0 then Printf.printf "  %-40s %13.3f ms\n" name (ns /. 1e6)
-              else if ns > 1_000.0 then Printf.printf "  %-40s %13.3f us\n" name (ns /. 1e3)
-              else Printf.printf "  %-40s %13.1f ns\n" name ns
-          | _ -> Printf.printf "  %-40s %16s\n" name "n/a")
-        analyzed)
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let est =
+            match Analyze.OLS.estimates ols_result with Some [ ns ] -> Some ns | _ -> None
+          in
+          (name, est) :: acc)
+        analyzed [])
     tests
+
+let run_timings () =
+  header "WALL-CLOCK TIMINGS (Bechamel, monotonic clock)";
+  Printf.printf "  %-40s %16s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some ns ->
+          if ns > 1_000_000.0 then Printf.printf "  %-40s %13.3f ms\n" name (ns /. 1e6)
+          else if ns > 1_000.0 then Printf.printf "  %-40s %13.3f us\n" name (ns /. 1e3)
+          else Printf.printf "  %-40s %13.1f ns\n" name ns
+      | None -> Printf.printf "  %-40s %16s\n" name "n/a")
+    (measure_timings (timing_tests ()))
+
+(* ----- machine-readable results: bench/main.exe json -> BENCH_results.json ----- *)
+
+(* hand-rolled JSON writer (the toolchain has no JSON library) *)
+type json = Raw of string | Str of string | List of json list | Obj of (string * json) list
+
+let rec write_json b = function
+  | Raw s -> Buffer.add_string b s
+  | Str s ->
+      Buffer.add_char b '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string b "\\\""
+          | '\\' -> Buffer.add_string b "\\\\"
+          | '\n' -> Buffer.add_string b "\\n"
+          | c -> Buffer.add_char b c)
+        s;
+      Buffer.add_char b '"'
+  | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ", ";
+          write_json b item)
+        items;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          write_json b (Str k);
+          Buffer.add_string b ": ";
+          write_json b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let jint i = Raw (string_of_int i)
+let jbool bo = Raw (string_of_bool bo)
+let jfloat f = Raw (Printf.sprintf "%.3f" f)
+
+let stats_json (s : Engine.stats) =
+  Obj
+    [
+      ("iterations", jint s.Engine.iterations);
+      ("derivations", jint s.Engine.derivations);
+      ("facts_added", jint s.Engine.facts_added);
+      ("reached_fixpoint", jbool s.Engine.reached_fixpoint);
+      ("index_probes", jint s.Engine.index_probes);
+      ("index_hits", jint s.Engine.index_hits);
+      ("facts_skipped", jint s.Engine.facts_skipped);
+      ("subsumptions_avoided", jint s.Engine.subsumptions_avoided);
+    ]
+
+(* flights (constraint-rewritten, terminating) with the indexed store vs the
+   seed list path: same answers, and the store counters quantify the join
+   probes indexing saved *)
+let json_flights_store () =
+  let p = parse flights_src in
+  let p', _ = Rewrite.constraint_rewrite p in
+  List.map
+    (fun m ->
+      let edb = singleleg_edb (100 + m) m in
+      let ri = Engine.run ~max_iterations:10 p' ~edb in
+      let rs = Engine.run ~indexed:false ~max_iterations:10 p' ~edb in
+      let si = Engine.stats ri in
+      let considered = si.Engine.index_hits + si.Engine.facts_skipped in
+      Obj
+        [
+          ("cities", jint m);
+          ("edb_facts", jint (List.length edb));
+          ("flight_facts", jint (List.length (Engine.facts_of ri "flight'")));
+          ("answer_facts", jint (List.length (Engine.answers ri p')));
+          ("answers_match_seed", jbool (Engine.total_idb_facts ri ~edb = Engine.total_idb_facts rs ~edb));
+          ("indexed", stats_json si);
+          ("seed", stats_json (Engine.stats rs));
+          ("probe_candidates_without_index", jint considered);
+          ("probe_candidates_with_index", jint si.Engine.index_hits);
+          ( "join_probe_reduction",
+            jfloat
+              (if considered = 0 then 0.0
+               else 1.0 -. (float_of_int si.Engine.index_hits /. float_of_int considered)) );
+        ])
+    [ 4; 6; 8; 10 ]
+
+let json_d1 () =
+  let p = parse d1_src in
+  let qrp_mg, _ = Rewrite.sequence [ Rewrite.Qrp; magic_ff ] p in
+  let mg_qrp, _ = Rewrite.sequence [ magic_ff; Rewrite.Qrp ] p in
+  List.map
+    (fun nsrc ->
+      let edb = segments_edb nsrc 5 in
+      Obj
+        [
+          ("sources", jint nsrc);
+          ("edb_facts", jint (List.length edb));
+          ("qrp_mg_facts", jint (idb_count qrp_mg edb));
+          ("mg_qrp_facts", jint (idb_count mg_qrp edb));
+        ])
+    [ 6; 12; 24 ]
+
+let json_optimal () =
+  let p = parse flights_src in
+  let mg = Rewrite.Magic { adornment = "ffff"; constraint_magic = true } in
+  let orderings =
+    [
+      ("mg", [ mg ]);
+      ("pred,mg", [ Rewrite.Pred; mg ]);
+      ("qrp,mg", [ Rewrite.Qrp; mg ]);
+      ("pred,qrp,mg", [ Rewrite.Pred; Rewrite.Qrp; mg ]);
+      ("mg,qrp", [ mg; Rewrite.Qrp ]);
+    ]
+  in
+  let edb = singleleg_edb 77 7 in
+  List.map
+    (fun (name, steps) ->
+      let prog, _ = Rewrite.sequence steps p in
+      let res = Engine.run ~max_iterations:10 ~max_derivations:30_000 prog ~edb in
+      Obj [ ("ordering", Str name); ("idb_facts", jint (Engine.total_idb_facts res ~edb)) ])
+    orderings
+
+let json_fib () =
+  let res = Engine.run ~max_iterations:30 (fib_magic_constrained 5) ~edb:[] in
+  let s = Engine.stats res in
+  Obj
+    [
+      ("query", Str "fib(N, 5) via constrained magic rewriting");
+      ("stats", stats_json s);
+      ("answers", jint (List.length (Engine.facts_of res "q_")));
+    ]
+
+let run_json () =
+  let timings =
+    List.map
+      (fun (name, est) ->
+        Obj
+          [
+            ("name", Str name);
+            ("ns_per_run", match est with Some ns -> jfloat ns | None -> Raw "null");
+          ])
+      (measure_timings (timing_tests ()))
+  in
+  let doc =
+    Obj
+      [
+        ("schema", Str "cqlopt-bench-1");
+        ("command", Str "dune exec bench/main.exe -- json");
+        ( "experiments",
+          Obj
+            [
+              ("flights_store", List (json_flights_store ()));
+              ("d1_rewrite_orderings", List (json_d1 ()));
+              ("optimal_orderings", List (json_optimal ()));
+              ("fib_backward", json_fib ());
+            ] );
+        ("timings", List timings);
+      ]
+  in
+  let b = Buffer.create 4096 in
+  write_json b doc;
+  Buffer.add_char b '\n';
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "wrote BENCH_results.json (%d bytes)\n" (Buffer.length b)
 
 (* ----- driver ----- *)
 
@@ -636,13 +813,14 @@ let experiments =
     ("ablation-stratified", run_ablation_stratified);
     ("bound", run_bound);
     ("time", run_timings);
+    ("json", run_json);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [] ->
-      List.iter (fun (id, f) -> if id <> "time" then f ()) experiments;
+      List.iter (fun (id, f) -> if id <> "time" && id <> "json" then f ()) experiments;
       run_timings ()
   | ids ->
       List.iter

@@ -68,9 +68,13 @@ let eval_query st (lits, cstr) =
         if not stats.Cql_eval.Engine.reached_fixpoint then
           print_endline "  (budget exhausted before fixpoint: answers may be incomplete)"
       end;
-      Printf.printf "%% %d iterations, %d derivations, %d facts\n%!"
+      Printf.printf "%% %d iterations, %d derivations, %d facts\n"
         stats.Cql_eval.Engine.iterations stats.Cql_eval.Engine.derivations
-        (Cql_eval.Engine.total_facts res)
+        (Cql_eval.Engine.total_facts res);
+      Printf.printf
+        "%% store: %d indexed probes (%d hits, %d facts skipped), %d subsumption checks avoided\n%!"
+        stats.Cql_eval.Engine.index_probes stats.Cql_eval.Engine.index_hits
+        stats.Cql_eval.Engine.facts_skipped stats.Cql_eval.Engine.subsumptions_avoided
 
 let add_source st src =
   match Parser.program_of_string src with

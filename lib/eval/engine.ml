@@ -1,5 +1,7 @@
 open Cql_constr
 open Cql_datalog
+module Store = Cql_store.Store
+module Planner = Cql_store.Planner
 
 module StringMap = Map.Make (String)
 
@@ -10,14 +12,16 @@ type stats = {
   derivations : int;
   facts_added : int;
   reached_fixpoint : bool;
+  index_probes : int;
+  index_hits : int;
+  facts_skipped : int;
+  subsumptions_avoided : int;
 }
 
-(* facts are stored with the iteration that added them, enabling the
-   old/delta/full split of semi-naive evaluation *)
 module FactMap = Map.Make (Fact)
 
 type result = {
-  store : (Fact.t * int) list StringMap.t;
+  facts : Fact.t list StringMap.t; (* final live facts per predicate, oldest first *)
   stats : stats;
   trace_rev : trace_entry list;
   provenance : (string * Fact.t list) FactMap.t;
@@ -27,13 +31,9 @@ type result = {
 let stats r = r.stats
 let trace r = List.rev r.trace_rev
 
-let facts_of r pred =
-  match StringMap.find_opt pred r.store with
-  | None -> []
-  | Some l -> List.rev_map fst l
-
-let all_facts r = StringMap.fold (fun p l acc -> (p, List.rev_map fst l) :: acc) r.store []
-let total_facts r = StringMap.fold (fun _ l acc -> acc + List.length l) r.store 0
+let facts_of r pred = match StringMap.find_opt pred r.facts with None -> [] | Some l -> l
+let all_facts r = StringMap.fold (fun p l acc -> (p, l) :: acc) r.facts []
+let total_facts r = StringMap.fold (fun _ l acc -> acc + List.length l) r.facts 0
 let total_idb_facts r ~edb = total_facts r - List.length edb
 
 let answers r (p : Program.t) =
@@ -41,8 +41,7 @@ let answers r (p : Program.t) =
 
 let provenance r f = FactMap.find_opt f r.provenance
 
-let all_ground r =
-  StringMap.for_all (fun _ l -> List.for_all (fun (f, _) -> Fact.is_ground f) l) r.store
+let all_ground r = StringMap.for_all (fun _ l -> List.for_all Fact.is_ground l) r.facts
 
 (* ----- rule application ----- *)
 
@@ -132,52 +131,127 @@ let try_derive (rule : Rule.t) (choices : Fact.t list) : Fact.t option =
   in
   go Subst.empty Conj.tt rule.Rule.body choices
 
+(* ----- storage backends ----- *)
+
+(* The fixpoint loop is generic over how facts are stored and probed.  The
+   indexed backend (default) keeps facts in the Cql_store relation store and
+   probes hash indexes on the columns the current substitution binds; the
+   seed backend reproduces the original per-predicate association lists and
+   linear scans, and exists as the reference for cross-checking. *)
+type backend = {
+  bk_add : int -> Fact.t -> unit;
+      (* store a non-subsumed fact (tagged with the iteration that made it) *)
+  bk_known : Fact.t -> bool; (* is the fact subsumed by a stored one? *)
+  bk_cands : Store.partition -> Subst.t -> Literal.t -> Fact.t list;
+      (* candidate facts for a body literal, pre-filtered by matches_literal *)
+  bk_advance : unit -> unit; (* iteration boundary *)
+  bk_plan : seminaive:bool -> Rule.t -> Planner.plan list;
+  bk_snapshot : unit -> Fact.t list StringMap.t; (* live facts, oldest first *)
+  bk_stats : unit -> int * int * int * int;
+      (* index probes, index hits, facts skipped, subsumptions avoided *)
+}
+
+let indexed_backend () =
+  let store = Store.create () in
+  {
+    bk_add = (fun _iter f -> Store.add store f);
+    bk_known = (fun f -> Store.known_subsumes store f);
+    bk_cands =
+      (fun part theta lit ->
+        (* resolving first turns bound variables into constants, giving the
+           index more columns to key on *)
+        let rlit = Subst.apply_literal theta lit in
+        List.filter (fun f -> Fact.matches_literal rlit f) (Store.probe store part rlit));
+    bk_advance = (fun () -> Store.advance store);
+    bk_plan = (fun ~seminaive r -> Planner.plans ~seminaive r);
+    bk_snapshot =
+      (fun () ->
+        List.fold_left
+          (fun acc (pred, fs) -> StringMap.add pred fs acc)
+          StringMap.empty (Store.all_facts store));
+    bk_stats =
+      (fun () ->
+        let s = Store.stats store in
+        ( s.Store.indexed_probes,
+          s.Store.index_hits,
+          s.Store.facts_skipped,
+          s.Store.subsumption_avoided ));
+  }
+
+(* the seed engine's storage: per-predicate assoc lists of (fact, iteration
+   tag), linear subsumption scans, body literals evaluated in program order *)
+let seed_backend () =
+  let store = ref StringMap.empty in
+  let cur_iter = ref 0 in
+  let store_find pred =
+    match StringMap.find_opt pred !store with Some l -> l | None -> []
+  in
+  let range = function
+    | Store.Old -> (0, !cur_iter - 2)
+    | Store.Delta -> (!cur_iter - 1, !cur_iter - 1)
+    | Store.Full -> (0, !cur_iter - 1)
+  in
+  {
+    bk_add =
+      (fun iter f ->
+        let l =
+          List.filter (fun (g, _) -> not (Fact.subsumes f g)) (store_find (Fact.pred f))
+        in
+        store := StringMap.add (Fact.pred f) ((f, iter) :: l) !store);
+    bk_known =
+      (fun f -> List.exists (fun (g, _) -> Fact.subsumes g f) (store_find (Fact.pred f)));
+    bk_cands =
+      (fun part _theta lit ->
+        let min_iter, max_iter = range part in
+        List.filter_map
+          (fun (f, it) ->
+            if it >= min_iter && it <= max_iter && Fact.matches_literal lit f then Some f
+            else None)
+          (store_find lit.Literal.pred));
+    bk_advance = (fun () -> incr cur_iter);
+    bk_plan =
+      (fun ~seminaive r ->
+        (* original body order; only the partition assignment varies *)
+        let n = List.length r.Rule.body in
+        let plan pivot =
+          List.mapi
+            (fun i lit -> { Planner.lit; orig = i; part = Planner.part_of ~pivot i })
+            r.Rule.body
+        in
+        if seminaive then List.init n plan else [ plan (-1) ]);
+    bk_snapshot =
+      (fun () -> StringMap.map (fun l -> List.rev_map fst l) !store);
+    bk_stats = (fun () -> (0, 0, 0, 0));
+  }
+
 (* ----- evaluation loops ----- *)
 
 type budget = { mutable deriv_left : int }
 
 exception Budget_exhausted
 
-let store_find store pred = match StringMap.find_opt pred store with Some l -> l | None -> []
-
-let known_subsumes store f =
-  List.exists (fun (g, _) -> Fact.subsumes g f) (store_find store (Fact.pred f))
-
-(* facts of [pred] filtered by when they were added *)
-let candidates store pred ~min_iter ~max_iter =
-  List.filter_map
-    (fun (f, it) -> if it >= min_iter && it <= max_iter then Some f else None)
-    (store_find store pred)
-
-(* enumerate combinations with incremental unification: failed joins are
-   pruned before the cross-product expands *)
-let rec choose_combos store iter pivot idx body theta cstr used k =
-  match body with
-  | [] -> k theta cstr (List.rev used)
-  | (lit : Literal.t) :: rest ->
-      let min_iter, max_iter =
-        if pivot < 0 then (0, max_int) (* naive: everything *)
-        else if idx < pivot then (0, iter - 2)
-        else if idx = pivot then (iter - 1, iter - 1)
-        else (0, iter - 1)
-      in
-      let cands = candidates store lit.Literal.pred ~min_iter ~max_iter in
+(* enumerate combinations along a plan with incremental unification: failed
+   joins are pruned before the cross-product expands *)
+let rec choose_combos bk (steps : Planner.plan) theta cstr used k =
+  match steps with
+  | [] ->
+      let used = List.sort (fun (a, _) (b, _) -> compare a b) used in
+      k theta cstr (List.map snd used)
+  | step :: rest ->
       List.iter
         (fun f ->
-          if Fact.matches_literal lit f then begin
-            let flit, fcstr = fact_literal f in
-            match Subst.unify_under theta lit flit with
-            | None -> ()
-            | Some theta' ->
-                choose_combos store iter pivot (idx + 1) rest theta' (Conj.and_ cstr fcstr)
-                  (f :: used) k
-          end)
-        cands
+          let flit, fcstr = fact_literal f in
+          match Subst.unify_under theta step.Planner.lit flit with
+          | None -> ()
+          | Some theta' ->
+              choose_combos bk rest theta' (Conj.and_ cstr fcstr)
+                ((step.Planner.orig, f) :: used) k)
+        (bk.bk_cands step.Planner.part theta step.Planner.lit)
 
-let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : Program.t)
-    ~(edb : Fact.t list) =
+let run_loop ~seminaive ~indexed ?max_iterations ?max_derivations ?(traced = false)
+    (p : Program.t) ~(edb : Fact.t list) =
+  let bk = if indexed then indexed_backend () else seed_backend () in
   let budget = { deriv_left = (match max_derivations with Some n -> n | None -> max_int) } in
-  let store = ref StringMap.empty in
   let provenance = ref FactMap.empty in
   let trace_rev = ref [] in
   let derivations = ref 0 in
@@ -185,10 +259,7 @@ let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : 
   let add_fact iter f =
     (* back-subsumption: drop stored facts the new fact subsumes; safe for
        semi-naive completeness because the new fact enters the delta *)
-    let l =
-      List.filter (fun (g, _) -> not (Fact.subsumes f g)) (store_find !store (Fact.pred f))
-    in
-    store := StringMap.add (Fact.pred f) ((f, iter) :: l) !store;
+    bk.bk_add iter f;
     incr facts_added
   in
   let record iter label f subsumed =
@@ -204,7 +275,7 @@ let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : 
   (* iteration 0: EDB facts (untraced) + fact rules *)
   List.iter
     (fun f ->
-      if not (known_subsumes !store f) then begin
+      if not (bk.bk_known f) then begin
         add_fact 0 f;
         remember "edb" f []
       end)
@@ -215,18 +286,21 @@ let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : 
       match try_derive r [] with
       | None -> ()
       | Some f ->
-          let subsumed = known_subsumes !store f in
+          let subsumed = bk.bk_known f in
           record 0 r.Rule.label f subsumed;
           if not subsumed then begin
             add_fact 0 f;
             remember r.Rule.label f []
           end)
     fact_rules;
+  (* join plans are computed once per rule, not per iteration *)
+  let rule_plans = List.map (fun r -> (r, bk.bk_plan ~seminaive r)) body_rules in
   let iterations = ref 0 in
   let fixpoint = ref false in
   let result () =
+    let index_probes, index_hits, facts_skipped, subsumptions_avoided = bk.bk_stats () in
     {
-      store = !store;
+      facts = bk.bk_snapshot ();
       provenance = !provenance;
       stats =
         {
@@ -234,6 +308,10 @@ let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : 
           derivations = !derivations;
           facts_added = !facts_added;
           reached_fixpoint = !fixpoint;
+          index_probes;
+          index_hits;
+          facts_skipped;
+          subsumptions_avoided;
         };
       trace_rev = !trace_rev;
     }
@@ -248,24 +326,22 @@ let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : 
           raise Exit
       | _ -> ());
       iterations := iter;
+      bk.bk_advance ();
       let produced = ref [] in
       List.iter
-        (fun (r : Rule.t) ->
-          let nbody = List.length r.Rule.body in
-          let pivots = if seminaive then List.init nbody (fun j -> j) else [ -1 ] in
+        (fun ((r : Rule.t), plans) ->
           List.iter
-            (fun pivot ->
-              choose_combos !store iter pivot 0 r.Rule.body Subst.empty Conj.tt []
-                (fun theta cstr used ->
+            (fun plan ->
+              choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
                   match derive_head r theta cstr with
                   | None -> ()
                   | Some f -> produced := (r.Rule.label, f, used) :: !produced))
-            pivots)
-        body_rules;
+            plans)
+        rule_plans;
       let any_added = ref false in
       List.iter
         (fun (label, f, used) ->
-          let subsumed = known_subsumes !store f in
+          let subsumed = bk.bk_known f in
           record iter label f subsumed;
           if not subsumed then begin
             add_fact iter f;
@@ -283,17 +359,17 @@ let run_loop ~seminaive ?max_iterations ?max_derivations ?(traced = false) (p : 
   | Exit -> result ()
   | Budget_exhausted -> result ()
 
-let run ?max_iterations ?max_derivations ?traced p ~edb =
-  run_loop ~seminaive:true ?max_iterations ?max_derivations ?traced p ~edb
+let run ?(indexed = true) ?max_iterations ?max_derivations ?traced p ~edb =
+  run_loop ~seminaive:true ~indexed ?max_iterations ?max_derivations ?traced p ~edb
 
-let run_naive ?max_iterations ?max_derivations p ~edb =
-  run_loop ~seminaive:false ?max_iterations ?max_derivations ~traced:false p ~edb
+let run_naive ?(indexed = true) ?max_iterations ?max_derivations p ~edb =
+  run_loop ~seminaive:false ~indexed ?max_iterations ?max_derivations ~traced:false p ~edb
 
 (* SCC-stratified evaluation: process the predicate dependency graph
    callees-first, running the semi-naive loop once per stratum with all
    earlier facts as input.  Same fixpoint; each stratum's rules only ever
    see fully-computed lower strata, so no wasted re-derivation across strata. *)
-let run_stratified ?max_iterations ?max_derivations (p : Program.t) ~edb =
+let run_stratified ?(indexed = true) ?max_iterations ?max_derivations (p : Program.t) ~edb =
   let g = Depgraph.of_program p in
   let derived = Program.derived p in
   let sccs =
@@ -302,6 +378,10 @@ let run_stratified ?max_iterations ?max_derivations (p : Program.t) ~edb =
   let deriv_budget = ref (match max_derivations with Some n -> n | None -> max_int) in
   let facts = ref edb in
   let derivations = ref 0 and facts_added = ref 0 and iterations = ref 0 in
+  let index_probes = ref 0
+  and index_hits = ref 0
+  and facts_skipped = ref 0
+  and subsumptions_avoided = ref 0 in
   let fixpoint = ref true in
   let provs = ref [] in
   let last = ref None in
@@ -315,13 +395,17 @@ let run_stratified ?max_iterations ?max_derivations (p : Program.t) ~edb =
         in
         let sub = { p with Program.rules } in
         let res =
-          run_loop ~seminaive:true ?max_iterations ~max_derivations:!deriv_budget
+          run_loop ~seminaive:true ~indexed ?max_iterations ~max_derivations:!deriv_budget
             ~traced:false sub ~edb:!facts
         in
         deriv_budget := !deriv_budget - res.stats.derivations;
         derivations := !derivations + res.stats.derivations;
         facts_added := !facts_added + res.stats.facts_added - List.length !facts;
         iterations := max !iterations res.stats.iterations;
+        index_probes := !index_probes + res.stats.index_probes;
+        index_hits := !index_hits + res.stats.index_hits;
+        facts_skipped := !facts_skipped + res.stats.facts_skipped;
+        subsumptions_avoided := !subsumptions_avoided + res.stats.subsumptions_avoided;
         if not res.stats.reached_fixpoint then fixpoint := false;
         provs := res.provenance :: !provs;
         facts := List.concat_map snd (all_facts res);
@@ -330,7 +414,7 @@ let run_stratified ?max_iterations ?max_derivations (p : Program.t) ~edb =
       else fixpoint := false)
     sccs;
   match !last with
-  | None -> run ?max_iterations ?max_derivations p ~edb
+  | None -> run ~indexed ?max_iterations ?max_derivations p ~edb
   | Some res ->
       (* merge provenance, preferring the stratum that really derived a
          fact over a later stratum seeing it as input *)
@@ -349,5 +433,9 @@ let run_stratified ?max_iterations ?max_derivations (p : Program.t) ~edb =
             derivations = !derivations;
             facts_added = !facts_added + List.length edb;
             reached_fixpoint = !fixpoint;
+            index_probes = !index_probes;
+            index_hits = !index_hits;
+            facts_skipped = !facts_skipped;
+            subsumptions_avoided = !subsumptions_avoided;
           };
       }

@@ -10,7 +10,15 @@
     each derivation to use at least one fact from the previous iteration's
     delta, giving the iteration-by-iteration behaviour of the paper's
     Tables 1 and 2.  Budgets allow safely running the *non-terminating*
-    evaluations the paper exhibits (Table 1). *)
+    evaluations the paper exhibits (Table 1).
+
+    Facts live in the indexed relation store ({!Cql_store.Store}): hash
+    indexes on the argument columns each probe binds, old/delta/full
+    partitions for semi-naive evaluation, and pattern-bucketed subsumption
+    checks.  Rule bodies are reordered once per rule by the join planner's
+    bound-ness heuristic ({!Cql_store.Planner}).  Passing [~indexed:false]
+    selects the seed list-based storage path instead — same answers, linear
+    scans — kept as the reference implementation for cross-checking. *)
 
 open Cql_datalog
 
@@ -26,6 +34,13 @@ type stats = {
   derivations : int;  (** successful rule applications, incl. subsumed *)
   facts_added : int;
   reached_fixpoint : bool;  (** false when a budget stopped the run *)
+  index_probes : int;  (** store probes answered from a hash index *)
+  index_hits : int;  (** candidate facts returned by indexed probes *)
+  facts_skipped : int;
+      (** partition facts indexed probes never had to consider *)
+  subsumptions_avoided : int;
+      (** stored facts subsumption checks skipped thanks to the
+          pattern/ground indexes (all zero with [~indexed:false]) *)
 }
 
 type result
@@ -51,6 +66,7 @@ val provenance : result -> Fact.t -> (string * Fact.t list) option
     [None] for facts never stored (e.g. subsumed on arrival). *)
 
 val run :
+  ?indexed:bool ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   ?traced:bool ->
@@ -58,15 +74,27 @@ val run :
   edb:Fact.t list ->
   result
 (** Semi-naive evaluation.  Iteration 0 loads the EDB and fires the
-    program's fact rules; subsequent iterations are delta-driven. *)
+    program's fact rules; subsequent iterations are delta-driven.
+    [indexed] (default [true]) selects the indexed relation store and join
+    planner; [~indexed:false] runs the seed list-based reference path. *)
 
 val run_naive :
-  ?max_iterations:int -> ?max_derivations:int -> Program.t -> edb:Fact.t list -> result
+  ?indexed:bool ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  Program.t ->
+  edb:Fact.t list ->
+  result
 (** Naive evaluation (every rule against the full database each iteration);
     used to cross-check the semi-naive engine. *)
 
 val run_stratified :
-  ?max_iterations:int -> ?max_derivations:int -> Program.t -> edb:Fact.t list -> result
+  ?indexed:bool ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  Program.t ->
+  edb:Fact.t list ->
+  result
 (** SCC-stratified semi-naive evaluation: strongly connected components of
     the predicate dependency graph are computed callees-first, each with one
     semi-naive fixpoint over fully-computed lower strata.  Computes the same

@@ -1,204 +1,5 @@
-open Cql_num
-open Cql_constr
-open Cql_datalog
-
-type pos = Psym of string | Pvar
-
-type t = {
-  pred : string;
-  args : pos array;
-  cstr : Conj.t;
-  pinned : Rat.t option array; (* cached per-position ground values *)
-}
-
-exception Unsat
-
-let numeric_vars args =
-  let s = ref Var.Set.empty in
-  Array.iteri (fun i p -> match p with Pvar -> s := Var.Set.add (Var.arg (i + 1)) !s | Psym _ -> ()) args;
-  !s
-
-(* extract the value a simplified conjunction pins a variable to, if any *)
-let pinned_value cstr v =
-  let rec find = function
-    | [] -> None
-    | (a : Atom.t) :: rest ->
-        if a.Atom.op = Atom.Eq && Atom.mem v a then begin
-          let k = Linexpr.coeff v a.Atom.expr in
-          let r = Linexpr.sub a.Atom.expr (Linexpr.term k v) in
-          if Linexpr.is_const r then Some (Rat.neg (Rat.div (Linexpr.constant r) k))
-          else find rest
-        end
-        else find rest
-  in
-  find (Conj.to_list cstr)
-
-let compute_pinned args cstr =
-  Array.mapi
-    (fun i p ->
-      match p with
-      | Psym _ -> None
-      | Pvar -> (
-          let v = Var.arg (i + 1) in
-          match pinned_value cstr v with
-          | Some q -> Some q
-          | None ->
-              (* an equality may pin it only after projecting the others out *)
-              pinned_value (Conj.project ~keep:(Var.Set.singleton v) cstr) v))
-    args
-
-let make pred args cstr =
-  let keep = numeric_vars args in
-  let c = Conj.simplify (Conj.project ~keep cstr) in
-  if not (Conj.is_sat c) then raise Unsat;
-  { pred; args; cstr = c; pinned = compute_pinned args c }
-
-let ground pred consts =
-  let args = Array.make (List.length consts) Pvar in
-  let atoms = ref [] in
-  List.iteri
-    (fun i c ->
-      match c with
-      | Term.Sym s -> args.(i) <- Psym s
-      | Term.Num q ->
-          args.(i) <- Pvar;
-          atoms := Atom.eq (Linexpr.var (Var.arg (i + 1))) (Linexpr.const q) :: !atoms)
-    consts;
-  make pred args (Conj.of_list !atoms)
-
-let of_fact_rule (r : Rule.t) =
-  if r.Rule.body <> [] then invalid_arg "Fact.of_fact_rule: rule has body literals";
-  let head = r.Rule.head in
-  let n = Literal.arity head in
-  let args = Array.make n Pvar in
-  (* bind each head term to $i; repeated variables become $i = $j *)
-  let atoms = ref (Conj.to_list r.Rule.cstr) in
-  let seen : (Var.t * int) list ref = ref [] in
-  List.iteri
-    (fun i t ->
-      let ai = Var.arg (i + 1) in
-      match t with
-      | Term.C (Term.Sym s) -> args.(i) <- Psym s
-      | Term.C (Term.Num q) -> atoms := Atom.eq (Linexpr.var ai) (Linexpr.const q) :: !atoms
-      | Term.V v -> (
-          match List.assoc_opt v !seen with
-          | Some j ->
-              atoms := Atom.eq (Linexpr.var ai) (Linexpr.var (Var.arg j)) :: !atoms
-          | None ->
-              seen := (v, i + 1) :: !seen;
-              atoms := Atom.eq (Linexpr.var ai) (Linexpr.var v) :: !atoms))
-    head.Literal.args;
-  make head.Literal.pred args (Conj.of_list !atoms)
-
-let pred f = f.pred
-let arity f = Array.length f.args
-let cstr f = f.cstr
-
-let ground_value f i = f.pinned.(i - 1)
-
-let is_ground f =
-  let ok = ref true in
-  Array.iteri
-    (fun i p -> match p with Psym _ -> () | Pvar -> if f.pinned.(i) = None then ok := false)
-    f.args;
-  !ok
-
-let same_pattern a b =
-  a.pred = b.pred
-  && Array.length a.args = Array.length b.args
-  && Array.for_all2 (fun x y ->
-         match (x, y) with
-         | Psym s1, Psym s2 -> s1 = s2
-         | Pvar, Pvar -> true
-         | Psym _, Pvar | Pvar, Psym _ -> false)
-       a.args b.args
-
-(* cheap pre-filter: can this fact possibly unify with the literal?
-   Constant literal arguments must match the fact's symbolic pattern and
-   pinned values.  (Repeated variables are left to real unification.) *)
-let matches_literal (l : Literal.t) f =
-  Array.length f.args = Literal.arity l
-  && List.for_all2
-       (fun t (p, pin) ->
-         match (t, p) with
-         | Term.C (Term.Sym s), Psym s' -> s = s'
-         | Term.C (Term.Sym _), Pvar -> false
-         | Term.C (Term.Num _), Psym _ -> false
-         | Term.C (Term.Num q), Pvar -> (
-             match pin with Some v -> Rat.equal v q | None -> true)
-         | Term.V _, _ -> true)
-       l.Literal.args
-       (List.combine (Array.to_list f.args) (Array.to_list f.pinned))
-
-let all_pinned f =
-  Array.for_all2
-    (fun p v -> match p with Psym _ -> true | Pvar -> v <> None)
-    f.args f.pinned
-
-let subsumes general specific =
-  same_pattern general specific
-  &&
-  if all_pinned specific then
-    (* evaluate the general constraint at the specific point: no solver *)
-    let env v =
-      match Var.arg_index v with
-      | Some i when i >= 1 && i <= Array.length specific.pinned -> specific.pinned.(i - 1)
-      | _ -> None
-    in
-    match Conj.eval_at env general.cstr with
-    | Some b -> b
-    | None -> Conj.implies specific.cstr general.cstr
-  else Conj.implies specific.cstr general.cstr
-
-let compare a b =
-  let c = String.compare a.pred b.pred in
-  if c <> 0 then c
-  else
-    let c =
-      Stdlib.compare
-        (Array.to_list (Array.map (function Psym s -> Some s | Pvar -> None) a.args))
-        (Array.to_list (Array.map (function Psym s -> Some s | Pvar -> None) b.args))
-    in
-    if c <> 0 then c else Conj.compare a.cstr b.cstr
-
-let equal a b = compare a b = 0
-
-let pp fmt f =
-  let n = Array.length f.args in
-  let pinned = Array.make n None in
-  for i = 1 to n do
-    pinned.(i - 1) <- ground_value f i
-  done;
-  (* residual constraints: those not expressed by pinned positions *)
-  let residual =
-    List.filter
-      (fun (a : Atom.t) ->
-        not
-          (Var.Set.for_all
-             (fun v ->
-               match Var.arg_index v with
-               | Some i when i <= n -> pinned.(i - 1) <> None
-               | _ -> false)
-             (Atom.vars a)))
-      (Conj.to_list f.cstr)
-  in
-  let pp_arg fmt i =
-    match f.args.(i) with
-    | Psym s -> Format.pp_print_string fmt s
-    | Pvar -> (
-        match pinned.(i) with
-        | Some q -> Rat.pp fmt q
-        | None -> Var.pp fmt (Var.arg (i + 1)))
-  in
-  Format.fprintf fmt "%s(" f.pred;
-  for i = 0 to n - 1 do
-    if i > 0 then Format.pp_print_string fmt ", ";
-    pp_arg fmt i
-  done;
-  if residual <> [] then
-    Format.fprintf fmt "; %a"
-      (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ") Atom.pp)
-      residual;
-  Format.pp_print_string fmt ")"
-
-let to_string f = Format.asprintf "%a" pp f
+(* Compatibility re-export: constraint facts now live in the storage layer
+   (Cql_store) so both the relation store and the evaluation engine can use
+   them without a dependency cycle.  [Cql_eval.Fact] remains the public
+   path. *)
+include Cql_store.Fact

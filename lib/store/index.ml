@@ -1,0 +1,69 @@
+open Cql_num
+open Cql_datalog
+
+(* A stored fact with a liveness flag: back-subsumption marks cells dead
+   instead of rebuilding every index that mentions them.  [part] tracks the
+   cell's current partition so the store can keep live counts per partition
+   without rescanning. *)
+type cell = { fact : Fact.t; mutable live : bool; mutable part : int }
+
+module Key = struct
+  type t = Term.const list
+
+  let equal = List.equal Term.equal_const
+
+  let hash k =
+    List.fold_left
+      (fun acc c ->
+        let h = match c with Term.Sym s -> Hashtbl.hash s | Term.Num q -> Rat.hash q in
+        (acc * 65599) lxor h)
+      17 k
+end
+
+module KeyTbl = Hashtbl.Make (Key)
+
+type t = {
+  positions : int list; (* 0-based argument columns, ascending *)
+  buckets : cell list ref KeyTbl.t;
+  mutable wild : cell list;
+      (* cells not ground on every indexed column: returned by every probe,
+         filtered by [Fact.matches_literal] downstream *)
+}
+
+let positions idx = idx.positions
+let create positions = { positions; buckets = KeyTbl.create 64; wild = [] }
+
+(* the fact's key on [positions]: [None] when some column is neither a
+   symbol nor pinned to a single numeric value *)
+let key_of_fact positions (f : Fact.t) : Term.const list option =
+  let rec go = function
+    | [] -> Some []
+    | i :: rest -> (
+        match f.Fact.args.(i) with
+        | Fact.Psym s -> Option.map (fun k -> Term.Sym s :: k) (go rest)
+        | Fact.Pvar -> (
+            match f.Fact.pinned.(i) with
+            | Some q -> Option.map (fun k -> Term.Num q :: k) (go rest)
+            | None -> None))
+  in
+  go positions
+
+let add idx cell =
+  match key_of_fact idx.positions cell.fact with
+  | Some key -> (
+      match KeyTbl.find_opt idx.buckets key with
+      | Some l -> l := cell :: !l
+      | None -> KeyTbl.add idx.buckets key (ref [ cell ]))
+  | None -> idx.wild <- cell :: idx.wild
+
+let of_cells positions cells =
+  let idx = create positions in
+  (* cells arrive newest-first; keep bucket lists newest-first too *)
+  List.iter (fun c -> add idx c) (List.rev cells);
+  idx
+
+(* all cells that can possibly carry the probed key: the exact bucket plus
+   the wildcard cells (which a later matches_literal check filters) *)
+let probe idx key =
+  let bucket = match KeyTbl.find_opt idx.buckets key with Some l -> !l | None -> [] in
+  (bucket, idx.wild)

@@ -1,0 +1,106 @@
+open Cql_datalog
+
+type partition = Table.partition = Old | Delta | Full
+
+type stats = {
+  mutable probes : int;
+  mutable indexed_probes : int;
+  mutable index_hits : int;
+  mutable scans : int;
+  mutable scanned_facts : int;
+  mutable facts_skipped : int;
+  mutable subsumption_checks : int;
+  mutable subsumption_compared : int;
+  mutable subsumption_avoided : int;
+}
+
+let zero_stats () =
+  {
+    probes = 0;
+    indexed_probes = 0;
+    index_hits = 0;
+    scans = 0;
+    scanned_facts = 0;
+    facts_skipped = 0;
+    subsumption_checks = 0;
+    subsumption_compared = 0;
+    subsumption_avoided = 0;
+  }
+
+type t = { tables : (string, Table.t) Hashtbl.t; stats : stats }
+
+let create () = { tables = Hashtbl.create 32; stats = zero_stats () }
+let stats s = s.stats
+
+let table s pred =
+  match Hashtbl.find_opt s.tables pred with
+  | Some t -> t
+  | None ->
+      let t = Table.create () in
+      Hashtbl.add s.tables pred t;
+      t
+
+let find_table s pred = Hashtbl.find_opt s.tables pred
+
+let known_subsumes s f =
+  let st = s.stats in
+  st.subsumption_checks <- st.subsumption_checks + 1;
+  match find_table s (Fact.pred f) with
+  | None -> false
+  | Some t ->
+      let hit, compared = Table.known_subsumes t f in
+      st.subsumption_compared <- st.subsumption_compared + compared;
+      st.subsumption_avoided <- st.subsumption_avoided + (Table.live_total t - compared);
+      hit
+
+(* add a fact known not to be subsumed: back-subsumption first, then into
+   the pending partition (it becomes delta at the next advance) *)
+let add s f =
+  let t = table s (Fact.pred f) in
+  let compared = Table.back_subsume t f in
+  s.stats.subsumption_compared <- s.stats.subsumption_compared + compared;
+  Table.insert t f
+
+let advance s = Hashtbl.iter (fun _ t -> Table.advance t) s.tables
+
+(* bound columns of a resolved literal: constants give index keys *)
+let bound_columns (l : Literal.t) =
+  let rec go i = function
+    | [] -> ([], [])
+    | Term.C c :: rest ->
+        let ps, ks = go (i + 1) rest in
+        (i :: ps, c :: ks)
+    | Term.V _ :: rest -> go (i + 1) rest
+  in
+  go 0 l.Literal.args
+
+(* [probe s part lit]: candidate facts for a body literal already resolved
+   under the current substitution.  With at least one constant argument the
+   per-predicate hash index on those columns answers the probe; otherwise
+   the partition is scanned (the seed engine's behaviour for every probe). *)
+let probe s part (lit : Literal.t) =
+  let st = s.stats in
+  st.probes <- st.probes + 1;
+  match find_table s lit.Literal.pred with
+  | None -> []
+  | Some t -> (
+      match bound_columns lit with
+      | [], _ ->
+          st.scans <- st.scans + 1;
+          let fs = Table.scan t part in
+          st.scanned_facts <- st.scanned_facts + List.length fs;
+          fs
+      | positions, key ->
+          st.indexed_probes <- st.indexed_probes + 1;
+          let fs = Table.probe t part positions key in
+          let n = List.length fs in
+          st.index_hits <- st.index_hits + n;
+          st.facts_skipped <- st.facts_skipped + (Table.part_count t part - n);
+          fs)
+
+let facts s pred = match find_table s pred with None -> [] | Some t -> Table.facts t
+
+let all_facts s =
+  Hashtbl.fold (fun pred t acc -> (pred, Table.facts t) :: acc) s.tables []
+
+let total s = Hashtbl.fold (fun _ t acc -> acc + Table.live_total t) s.tables 0

@@ -1,0 +1,52 @@
+(** The indexed relation store: one {!Table} per predicate plus counters.
+
+    This replaces the evaluation engine's per-predicate association lists.
+    Probes for a body literal with at least one constant argument (after
+    applying the current substitution) are answered from a hash index on the
+    bound columns; subsumption checks only compare facts with the same
+    symbolic pattern, with duplicate ground facts detected by hash lookup.
+    The counters expose how much work indexing saved. *)
+
+open Cql_datalog
+
+type partition = Table.partition = Old | Delta | Full
+
+type stats = {
+  mutable probes : int;  (** candidate lookups issued by the engine *)
+  mutable indexed_probes : int;  (** probes answered from a hash index *)
+  mutable index_hits : int;  (** facts returned by indexed probes *)
+  mutable scans : int;  (** probes with no bound column: full partition scans *)
+  mutable scanned_facts : int;  (** facts returned by scans *)
+  mutable facts_skipped : int;
+      (** partition facts an indexed probe did not have to consider *)
+  mutable subsumption_checks : int;
+  mutable subsumption_compared : int;  (** {!Fact.subsumes} calls performed *)
+  mutable subsumption_avoided : int;
+      (** stored facts skipped by the pattern/ground subsumption indexes *)
+}
+
+type t
+
+val create : unit -> t
+val stats : t -> stats
+
+val known_subsumes : t -> Fact.t -> bool
+(** Is the fact subsumed by a live stored fact? *)
+
+val add : t -> Fact.t -> unit
+(** Insert a non-subsumed fact: drops stored facts it subsumes, then appends
+    it to the pending partition. *)
+
+val advance : t -> unit
+(** Iteration boundary on every table: old ∪= delta, delta ← pending. *)
+
+val probe : t -> partition -> Literal.t -> Fact.t list
+(** Candidate facts for a body literal {e already resolved} under the
+    current substitution.  A sound over-approximation: callers still filter
+    with {!Fact.matches_literal} and unification. *)
+
+val facts : t -> string -> Fact.t list
+(** Live facts of a predicate, oldest first. *)
+
+val all_facts : t -> (string * Fact.t list) list
+val total : t -> int

@@ -1,0 +1,225 @@
+open Cql_num
+
+type cell = Index.cell = { fact : Fact.t; mutable live : bool; mutable part : int }
+
+type partition = Old | Delta | Full
+
+(* partition tags carried by cells *)
+let p_old = 0
+let p_delta = 1
+let p_pending = 2
+
+(* subsumption can only relate facts with the same symbolic pattern
+   (Fact.same_pattern), so candidates are bucketed by it *)
+type pattern = string option array
+
+type sbucket = {
+  mutable ground_cells : cell list; (* every numeric position pinned *)
+  mutable general : cell list; (* carries a residual constraint *)
+}
+
+module GroundKey = struct
+  type t = pattern * Rat.t option array
+
+  let equal (p1, v1) (p2, v2) =
+    Array.length p1 = Array.length p2
+    && p1 = p2
+    && Array.for_all2
+         (fun a b ->
+           match (a, b) with
+           | None, None -> true
+           | Some x, Some y -> Rat.equal x y
+           | _ -> false)
+         v1 v2
+
+  let hash (p, v) =
+    Array.fold_left
+      (fun acc o -> (acc * 65599) lxor (match o with Some q -> Rat.hash q | None -> 7))
+      (Hashtbl.hash p) v
+end
+
+module GroundTbl = Hashtbl.Make (GroundKey)
+
+type t = {
+  (* partitions, newest-first; dead cells are filtered on read *)
+  mutable old_cells : cell list;
+  mutable delta_cells : cell list;
+  mutable pending_cells : cell list;
+  mutable all_rev : cell list; (* insertion order (newest first), for listing *)
+  mutable live_counts : int array; (* live cells per partition tag *)
+  (* join indexes, created lazily per probed column set *)
+  mutable old_indexes : Index.t list;
+  mutable delta_indexes : Index.t list;
+  (* subsumption indexes over every live cell *)
+  ground : cell GroundTbl.t; (* fully-pinned facts by (pattern, values) *)
+  patterns : (pattern, sbucket) Hashtbl.t;
+}
+
+let create () =
+  {
+    old_cells = [];
+    delta_cells = [];
+    pending_cells = [];
+    all_rev = [];
+    live_counts = Array.make 3 0;
+    old_indexes = [];
+    delta_indexes = [];
+    ground = GroundTbl.create 64;
+    patterns = Hashtbl.create 16;
+  }
+
+let pattern_of (f : Fact.t) : pattern =
+  Array.map (function Fact.Psym s -> Some s | Fact.Pvar -> None) f.Fact.args
+
+let ground_key (f : Fact.t) = (pattern_of f, f.Fact.pinned)
+
+let sbucket_of t pat =
+  match Hashtbl.find_opt t.patterns pat with
+  | Some b -> b
+  | None ->
+      let b = { ground_cells = []; general = [] } in
+      Hashtbl.add t.patterns pat b;
+      b
+
+let live_total t = t.live_counts.(p_old) + t.live_counts.(p_delta) + t.live_counts.(p_pending)
+
+let part_count t = function
+  | Old -> t.live_counts.(p_old)
+  | Delta -> t.live_counts.(p_delta)
+  | Full -> t.live_counts.(p_old) + t.live_counts.(p_delta)
+
+let kill t c =
+  if c.live then begin
+    c.live <- false;
+    t.live_counts.(c.part) <- t.live_counts.(c.part) - 1
+  end
+
+(* ----- insertion & subsumption ----- *)
+
+let insert t f =
+  let c = { fact = f; live = true; part = p_pending } in
+  t.pending_cells <- c :: t.pending_cells;
+  t.all_rev <- c :: t.all_rev;
+  t.live_counts.(p_pending) <- t.live_counts.(p_pending) + 1;
+  let b = sbucket_of t (pattern_of f) in
+  if Fact.is_ground f then begin
+    b.ground_cells <- c :: b.ground_cells;
+    GroundTbl.replace t.ground (ground_key f) c
+  end
+  else b.general <- c :: b.general
+
+(* [known_subsumes t f] is [(hit, comparisons)]: is [f] subsumed by a live
+   stored fact, and how many Fact.subsumes calls it took to decide.  Only
+   same-pattern facts are candidates; a fully-pinned [f] checks the ground
+   hash first (a pinned general fact subsumes it only if their constraints
+   agree at [f]'s point, which the general scan still covers). *)
+let known_subsumes t f =
+  match Hashtbl.find_opt t.patterns (pattern_of f) with
+  | None -> (false, 0)
+  | Some b ->
+      let cmp = ref 0 in
+      let scan l =
+        List.exists
+          (fun c ->
+            c.live
+            &&
+            (incr cmp;
+             Fact.subsumes c.fact f))
+          l
+      in
+      if Fact.is_ground f then
+        match GroundTbl.find_opt t.ground (ground_key f) with
+        | Some c when c.live -> (true, 0)
+        | _ ->
+            let hit = scan b.general in
+            (hit, !cmp)
+      else begin
+        (* a fully-pinned fact can also subsume a syntactically unpinned
+           one whose constraint happens to imply the point *)
+        let hit = scan b.general || scan b.ground_cells in
+        (hit, !cmp)
+      end
+
+(* Drop live facts the new fact subsumes (back-subsumption).  A fully
+   pinned [f] denotes a single point: the only ground fact it could
+   subsume is its duplicate, which [known_subsumes] already rejected, so
+   only general cells need scanning. *)
+let back_subsume t f =
+  match Hashtbl.find_opt t.patterns (pattern_of f) with
+  | None -> 0
+  | Some b ->
+      let cmp = ref 0 in
+      let kill_in l =
+        List.iter
+          (fun c ->
+            if c.live then begin
+              incr cmp;
+              if Fact.subsumes f c.fact then kill t c
+            end)
+          l
+      in
+      kill_in b.general;
+      if not (Fact.is_ground f) then kill_in b.ground_cells;
+      !cmp
+
+(* ----- partitions ----- *)
+
+(* End of iteration: delta joins old (updating old's indexes incrementally),
+   pending becomes the next delta.  Delta indexes are rebuilt lazily since
+   the partition's contents just changed wholesale. *)
+let advance t =
+  let promoted = List.filter (fun c -> c.live) t.delta_cells in
+  List.iter (fun c -> c.part <- p_old) promoted;
+  List.iter (fun idx -> List.iter (fun c -> Index.add idx c) promoted) t.old_indexes;
+  t.old_cells <- promoted @ t.old_cells;
+  t.live_counts.(p_old) <- t.live_counts.(p_old) + List.length promoted;
+  let delta = List.filter (fun c -> c.live) t.pending_cells in
+  List.iter (fun c -> c.part <- p_delta) delta;
+  t.delta_cells <- delta;
+  t.live_counts.(p_delta) <- List.length delta;
+  t.pending_cells <- [];
+  t.live_counts.(p_pending) <- 0;
+  t.delta_indexes <- []
+
+(* ----- probing ----- *)
+
+let get_index cells indexes set_indexes positions =
+  match List.find_opt (fun i -> Index.positions i = positions) indexes with
+  | Some idx -> idx
+  | None ->
+      let idx = Index.of_cells positions cells in
+      set_indexes (idx :: indexes);
+      idx
+
+let probe_one t which positions key =
+  let idx =
+    match which with
+    | `Old ->
+        get_index t.old_cells t.old_indexes (fun l -> t.old_indexes <- l) positions
+    | `Delta ->
+        get_index t.delta_cells t.delta_indexes (fun l -> t.delta_indexes <- l) positions
+  in
+  let bucket, wild = Index.probe idx key in
+  List.filter_map (fun c -> if c.live then Some c.fact else None) (bucket @ wild)
+
+(* indexed probe: facts agreeing with [key] on [positions] (plus wildcard
+   cells), newest partitions first *)
+let probe t part positions key =
+  match part with
+  | Old -> probe_one t `Old positions key
+  | Delta -> probe_one t `Delta positions key
+  | Full -> probe_one t `Delta positions key @ probe_one t `Old positions key
+
+(* unindexed scan of a whole partition, newest-first (the seed engine's
+   enumeration order) *)
+let scan t part =
+  let live l = List.filter_map (fun c -> if c.live then Some c.fact else None) l in
+  match part with
+  | Old -> live t.old_cells
+  | Delta -> live t.delta_cells
+  | Full -> live t.delta_cells @ live t.old_cells
+
+(* ----- listing ----- *)
+
+let facts t =
+  List.rev (List.filter_map (fun c -> if c.live then Some c.fact else None) t.all_rev)
