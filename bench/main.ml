@@ -5,7 +5,7 @@
    paper-vs-measured record):
 
      table1 table2 fig1 fig2 ex41 ex51 ex43 ex44 ex61 d1 d2 optimal
-     ablation-disjuncts ablation-single bound
+     ablation-disjuncts ablation-single bound fuzz
 
    Usage:
      dune exec bench/main.exe              run every experiment
@@ -542,6 +542,30 @@ a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.
     progs;
   measured "all converged far below the bound"
 
+(* ----- differential fuzzing (lib/gen) ----- *)
+
+let fuzz_seed = 42
+let fuzz_count = 200
+
+let fuzz_summaries () =
+  let module G = Cql_gen.Generate in
+  let module H = Cql_gen.Harness in
+  List.map
+    (fun mode ->
+      (mode, H.run ~config:(G.default mode) ~seed:fuzz_seed ~count:fuzz_count ()))
+    [ G.Decidable; G.Linear ]
+
+let run_fuzz () =
+  let module G = Cql_gen.Generate in
+  let module H = Cql_gen.Harness in
+  header "FUZZ: differential testing of every pipeline against the oracles";
+  paper "(no paper counterpart -- implementation validation of Theorems 4.7/4.8, 5.1, 6.2, 7.10)";
+  List.iter
+    (fun (mode, s) ->
+      Printf.printf "  mode=%-9s " (G.mode_to_string mode);
+      Format.printf "%a" H.pp_summary s)
+    (fuzz_summaries ())
+
 (* ----- Bechamel timings ----- *)
 
 let timing_tests () =
@@ -757,6 +781,29 @@ let json_fib () =
       ("answers", jint (List.length (Engine.facts_of res "q_")));
     ]
 
+let json_fuzz () =
+  let module G = Cql_gen.Generate in
+  let module H = Cql_gen.Harness in
+  List.map
+    (fun (mode, (s : H.summary)) ->
+      let st = s.H.stats in
+      Obj
+        [
+          ("mode", Str (G.mode_to_string mode));
+          ("seed", jint s.H.seed);
+          ("programs_generated", jint st.H.cases);
+          ("programs_evaluated", jint st.H.evaluated);
+          ("oracle_checks_passed", jint st.H.checks);
+          ("rewrites_skipped", jint st.H.rewrites_skipped);
+          ("runs_truncated", jint st.H.runs_truncated);
+          ( "mean_facts_derived",
+            jfloat
+              (if st.H.evaluated = 0 then 0.0
+               else float_of_int st.H.facts_derived /. float_of_int st.H.evaluated) );
+          ("all_oracles_passed", jbool (s.H.failure = None));
+        ])
+    (fuzz_summaries ())
+
 let run_json () =
   let timings =
     List.map
@@ -780,6 +827,7 @@ let run_json () =
               ("d1_rewrite_orderings", List (json_d1 ()));
               ("optimal_orderings", List (json_optimal ()));
               ("fib_backward", json_fib ());
+              ("fuzz", List (json_fuzz ()));
             ] );
         ("timings", List timings);
       ]
@@ -812,6 +860,7 @@ let experiments =
     ("ablation-single", run_ablation_single);
     ("ablation-stratified", run_ablation_stratified);
     ("bound", run_bound);
+    ("fuzz", run_fuzz);
     ("time", run_timings);
     ("json", run_json);
   ]

@@ -3,7 +3,8 @@
    Subcommands:
      analyze  - infer predicate constraints and QRP constraints
      rewrite  - apply a transformation pipeline and print the program
-     eval     - bottom-up evaluation of a program against an EDB file *)
+     eval     - bottom-up evaluation of a program against an EDB file
+     fuzz     - differential fuzzing of every pipeline against oracles *)
 
 open Cql_datalog
 open Cql_core
@@ -13,6 +14,15 @@ let read_program path =
   try Ok (Parser.program_of_file path) with
   | Parser.Error msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Sys_error msg -> Error msg
+
+let read_file path =
+  try
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    Ok src
+  with Sys_error msg -> Error msg
 
 let read_edb = function
   | None -> Ok []
@@ -233,7 +243,92 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
+(* ----- fuzz ----- *)
+
+let fuzz_cmd =
+  let module H = Cql_gen.Harness in
+  let module G = Cql_gen.Generate in
+  let run seed count mode inject_bug replay out =
+    match replay with
+    | Some path -> (
+        match read_file path with
+        | Error msg ->
+            prerr_endline msg;
+            1
+        | Ok src -> (
+            match H.parse_counterexample src with
+            | exception Parser.Error msg ->
+                Printf.eprintf "%s: %s\n" path msg;
+                1
+            | p, edb -> (
+                match H.replay p edb with
+                | None ->
+                    print_endline "replay: all oracles passed";
+                    0
+                | Some f ->
+                    Printf.printf "replay: FAILURE oracle=%s pipeline=%s: %s\n"
+                      (H.oracle_name f.H.oracle) f.H.pipeline f.H.detail;
+                    1)))
+    | None -> (
+        match G.mode_of_string mode with
+        | None ->
+            Printf.eprintf "unknown mode %S (use decidable or linear)\n" mode;
+            1
+        | Some m -> (
+            let config = G.default m in
+            let tamper = if inject_bug then Some H.drop_disjuncts else None in
+            let s = H.run ?tamper ~config ~seed ~count () in
+            Format.printf "%a" H.pp_summary s;
+            match s.H.failure with
+            | None ->
+                if inject_bug then begin
+                  print_endline "injected bug was NOT caught";
+                  1
+                end
+                else 0
+            | Some f ->
+                let doc = H.counterexample_to_string s f in
+                let oc = open_out out in
+                output_string oc doc;
+                close_out oc;
+                Printf.printf "counterexample (%d rules, %d facts) written to %s\n"
+                  (List.length f.H.program.Program.rules)
+                  (List.length f.H.edb) out;
+                if inject_bug then begin
+                  print_endline "injected bug caught as intended";
+                  0
+                end
+                else 1))
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed") in
+  let count =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Number of cases to generate")
+  in
+  let mode =
+    Arg.(value & opt string "decidable" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Constraint mode: decidable (Theorem 5.1 class) or linear (full fragment)")
+  in
+  let inject_bug =
+    Arg.(value & flag & info [ "inject-bug" ]
+           ~doc:"Demo: run an extra pipeline with a deliberately broken constraint \
+                 propagation (folding with constraints the definitions no longer match); \
+                 exits 0 iff the oracles catch it")
+  in
+  let replay =
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-check a counterexample file instead of generating cases")
+  in
+  let out =
+    Arg.(value & opt string "fuzz_counterexample.cql" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Where to write the shrunk counterexample on failure")
+  in
+  let term = Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out) in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: generated programs through every pipeline and oracle")
+    term
+
 let () =
   let doc = "Pushing constraint selections: CQL program optimizer (Srivastava & Ramakrishnan)" in
   let info = Cmd.info "cqlopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; eval_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; eval_cmd; fuzz_cmd ]))

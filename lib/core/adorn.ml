@@ -81,8 +81,15 @@ let program ~query_adornment (p : Program.t) : Program.t =
     | Some q -> q
     | None -> invalid_arg "Adorn.program: no query predicate"
   in
-  if String.length query_adornment <> Program.arity p query then
-    invalid_arg "Adorn.program: adornment length does not match query arity";
+  (match Program.arity p query with
+  | exception Not_found ->
+      (* the query predicate occurs nowhere (e.g. every rule mentioning it
+         was deleted as unsatisfiable by an earlier rewrite): nothing to
+         adorn, the result below is the empty program *)
+      ()
+  | n ->
+      if String.length query_adornment <> n then
+        invalid_arg "Adorn.program: adornment length does not match query arity");
   let derived = Program.derived p in
   let seen = Hashtbl.create 16 in
   let out = ref [] in

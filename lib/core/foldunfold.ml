@@ -25,15 +25,29 @@ let unfold_literal ~defs (r : Rule.t) (lit : Literal.t) : Rule.t list =
       let def = Rule.rename_apart def in
       match Subst.unify lit def.Rule.head with
       | None -> None
-      | Some theta -> (
+      | Some theta ->
           let body = remove_first lit r.Rule.body @ def.Rule.body in
-          match
-            Rule.apply theta
-              (Rule.make ~label:r.Rule.label r.Rule.head body
-                 (Conj.and_ r.Rule.cstr def.Rule.cstr))
-          with
-          | resolvent -> if Conj.is_sat resolvent.Rule.cstr then Some resolvent else None
-          | exception Subst.Type_error _ -> None))
+          let cstr = Conj.and_ r.Rule.cstr def.Rule.cstr in
+          (* a variable unified with a symbolic constant cannot appear in the
+             numeric constraint; project it away — the same sound weakening
+             as [Ptol_ltop.ptol_conj] — instead of dropping the resolvent
+             (which would treat a satisfiable symbolic binding as false) *)
+          let sym_bound =
+            Var.Set.filter
+              (fun v ->
+                match Subst.apply_term theta (Term.V v) with
+                | Term.C (Term.Sym _) -> true
+                | _ -> false)
+              (Conj.vars cstr)
+          in
+          let cstr =
+            if Var.Set.is_empty sym_bound then cstr
+            else Conj.project ~keep:(Var.Set.diff (Conj.vars cstr) sym_bound) cstr
+          in
+          let resolvent =
+            Rule.apply theta (Rule.make ~label:r.Rule.label r.Rule.head body cstr)
+          in
+          if Conj.is_sat resolvent.Rule.cstr then Some resolvent else None)
     defs
 
 let unfold_pred ~defs ~pred (r : Rule.t) : Rule.t list =

@@ -22,9 +22,13 @@ let templates_general ~magic_head (p : Program.t) : Program.t =
   let derived = Program.derived p in
   let rules = ref [] in
   let emit r = rules := r :: !rules in
-  (* seed: a magic fact for the query predicate over fresh variables *)
-  let seed_head = magic_head (Literal.fresh_args query (Program.arity p query)) in
-  emit (Rule.fact ~label:"seed" seed_head Conj.tt);
+  (* seed: a magic fact for the query predicate over fresh variables.  The
+     query predicate can be absent entirely (every rule mentioning it deleted
+     as unsatisfiable by an earlier rewrite); then there is nothing to seed
+     and the query correctly computes no answers. *)
+  (match Program.arity p query with
+  | exception Not_found -> ()
+  | n -> emit (Rule.fact ~label:"seed" (magic_head (Literal.fresh_args query n)) Conj.tt));
   List.iter
     (fun (r : Rule.t) ->
       let m_head_lit = magic_head r.Rule.head in

@@ -36,11 +36,39 @@ let apply_linexpr s e =
                   sym)))
     (Linexpr.vars e) e
 
-let apply_conj s c =
-  Conj.of_list
-    (List.map
-       (fun (a : Atom.t) -> Atom.make (apply_linexpr s a.Atom.expr) a.Atom.op)
-       (Conj.to_list c))
+(* An atom some of whose variables resolve to symbolic constants cannot be
+   substituted numerically.  The one well-typed shape is an equality between
+   two positions ([k·x − k·y = 0], produced by rewrites from repeated
+   variables); with both sides symbolic it is decided by symbol identity.
+   Any other mix of a symbol with arithmetic is unsatisfiable: a symbol
+   never equals, or compares with, a number. *)
+let apply_atom s (a : Atom.t) : Atom.t list =
+  let syms =
+    Var.Set.fold
+      (fun v acc ->
+        match resolve s (Term.V v) with
+        | Term.C (Term.Sym sym) -> (v, sym) :: acc
+        | _ -> acc)
+      (Linexpr.vars a.Atom.expr) []
+  in
+  match syms with
+  | [] -> [ Atom.make (apply_linexpr s a.Atom.expr) a.Atom.op ]
+  | [ (x, s1); (y, s2) ] when a.Atom.op = Atom.Eq ->
+      let open Cql_num in
+      let k = Linexpr.coeff x a.Atom.expr in
+      let rest =
+        Linexpr.sub a.Atom.expr
+          (Linexpr.add (Linexpr.term k x) (Linexpr.term (Rat.neg k) y))
+      in
+      if
+        Rat.equal (Linexpr.coeff y a.Atom.expr) (Rat.neg k)
+        && Linexpr.is_const rest
+        && Rat.is_zero (Linexpr.constant rest)
+      then if s1 = s2 then [] else [ Atom.ff ]
+      else [ Atom.ff ]
+  | _ -> [ Atom.ff ]
+
+let apply_conj s c = Conj.of_list (List.concat_map (apply_atom s) (Conj.to_list c))
 
 (* union-find style flat unification: bind the representative var *)
 let unify_terms s t1 t2 =

@@ -1,0 +1,53 @@
+(** Seeded random generation of well-formed CQL programs and finite EDBs.
+
+    Generated programs respect every invariant the rewriting procedures
+    assume: rules are in normal form (arguments are variables or constants),
+    every rule is range-restricted (head variables grounded by body literals
+    or single-unknown equality constraints, footnote 8), recursion is
+    stratified (a predicate's rules use only predicates of lower strata plus
+    the predicate itself), and each derived predicate has a non-recursive
+    base rule.  Argument positions are typed numeric or symbolic at
+    predicate-creation time so constraints only ever touch numeric
+    variables and EDB facts are well-typed.
+
+    Two constraint modes:
+
+    - {!Decidable}: constraints restricted to the decidable class of
+      Theorem 5.1 — [X op Y] / [X op c] with [op ∈ {≤, <, ≥, >}], no
+      arithmetic — so [Decidable.in_class] holds by construction and the
+      Theorem 5.1 iteration-bound oracle applies.
+    - {!Linear}: the full linear fragment — scaled variables, sums,
+      equality-defined head arguments ([H = X + Y]) — which can make
+      bottom-up evaluation diverge (backward-Fibonacci style); the harness
+      runs these under budgets. *)
+
+open Cql_datalog
+
+type mode = Decidable | Linear
+
+val mode_of_string : string -> mode option
+val mode_to_string : mode -> string
+
+type config = {
+  mode : mode;
+  edb_preds : int;  (** database predicates (at least 1) *)
+  idb_preds : int;  (** derived predicates (at least 1) *)
+  max_arity : int;
+  max_rules_per_pred : int;
+  max_body_lits : int;
+  max_constraint_atoms : int;
+  max_edb_facts : int;  (** facts per database predicate *)
+  const_range : int;  (** numeric constants drawn from [0, const_range] *)
+  recursion : bool;
+}
+
+val default : mode -> config
+
+val case : Rng.t -> config -> Program.t * Cql_eval.Fact.t list
+(** A random (program, EDB) pair.  The program has a query predicate set,
+    passes {!Program.check} and {!Program.is_range_restricted}; the EDB
+    facts are ground, one batch per database predicate occurring in the
+    program.  In [Decidable] mode the program is in the Theorem 5.1 class. *)
+
+val program : Rng.t -> config -> Program.t
+(** Just the program part of {!case}. *)

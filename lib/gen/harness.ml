@@ -1,0 +1,526 @@
+open Cql_num
+open Cql_constr
+open Cql_datalog
+open Cql_eval
+module F = Fact
+module Rw = Cql_core.Rewrite
+module Qrp = Cql_core.Qrp
+module Foldunfold = Cql_core.Foldunfold
+module Pred_constraints = Cql_core.Pred_constraints
+module Decidable = Cql_core.Decidable
+module Adorn = Cql_core.Adorn
+module Gmt = Cql_core.Gmt
+
+type oracle = Answers | Indexing | Solver | Monotone | Bound
+
+let oracle_name = function
+  | Answers -> "answers"
+  | Indexing -> "indexing"
+  | Solver -> "solver"
+  | Monotone -> "monotone"
+  | Bound -> "bound"
+
+let oracle_of_name = function
+  | "answers" -> Answers
+  | "indexing" -> Indexing
+  | "solver" -> Solver
+  | "monotone" -> Monotone
+  | "bound" -> Bound
+  | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
+
+type failure = {
+  oracle : oracle;
+  pipeline : string;
+  detail : string;
+  program : Program.t;
+  edb : F.t list;
+}
+
+type stats = {
+  mutable cases : int;
+  mutable evaluated : int;
+  mutable checks : int;
+  mutable rewrites_skipped : int;
+  mutable runs_truncated : int;
+  mutable facts_derived : int;
+}
+
+let new_stats () =
+  {
+    cases = 0;
+    evaluated = 0;
+    checks = 0;
+    rewrites_skipped = 0;
+    runs_truncated = 0;
+    facts_derived = 0;
+  }
+
+(* ----- fact-set comparison ----- *)
+
+(* rewriting renames predicates (p', p_ff, …), so facts are compared under a
+   neutral predicate name *)
+let neutral f = F.make "x" f.F.args (F.cstr f)
+
+let covered fs f = List.exists (fun g -> F.subsumes (neutral g) (neutral f)) fs
+
+let first_uncovered fs gs = List.find_opt (fun f -> not (covered gs f)) fs
+
+(* map a rewritten predicate name back to the original predicate it refines:
+   strip adornments ([p_bf]), primes ([p']), and reject magic ([m_p]) and
+   supplementary ([s_k_p]) predicates, which denote new relations *)
+let rec root_name orig name =
+  if List.mem name orig then Some name
+  else if String.length name > 2 && String.sub name 0 2 = "m_" then None
+  else if String.length name > 2 && String.sub name 0 2 = "s_" then None
+  else
+    match Adorn.split_adorned name with
+    | Some (base, _) when base <> name -> root_name orig base
+    | _ ->
+        let n = String.length name in
+        if n > 1 && name.[n - 1] = '\'' then root_name orig (String.sub name 0 (n - 1))
+        else None
+
+(* ----- the independent satisfiability pair (oracle 3) ----- *)
+
+(* Fourier-Motzkin satisfiability: eliminate every variable; the projection
+   onto no variables is tt iff the conjunction is satisfiable *)
+let fm_sat c = Conj.is_tt (Conj.project ~keep:Var.Set.empty c)
+
+let simplex_sat c = Simplex.is_sat (Conj.to_list c)
+
+(* ----- pipelines ----- *)
+
+let pipelines ~max_iters ?tamper (p : Program.t) =
+  match p.Program.query with
+  | None -> []
+  | Some q ->
+      let ad = String.make (Program.arity p q) 'f' in
+      let mg = Rw.Magic { adornment = ad; constraint_magic = true } in
+      let plain_mg = Rw.Magic { adornment = ad; constraint_magic = false } in
+      let seq steps p = fst (Rw.sequence ~max_iters steps p) in
+      let base =
+        [
+          ("pred", seq [ Rw.Pred ]);
+          ("qrp", seq [ Rw.Qrp ]);
+          ("pred,qrp", seq [ Rw.Pred; Rw.Qrp ]);
+          ("qrp,pred", seq [ Rw.Qrp; Rw.Pred ]);
+          ("constraint_rewrite", fun p -> fst (Rw.constraint_rewrite ~max_iters p));
+          ("mg", seq [ mg ]);
+          ("mg-plain", seq [ plain_mg ]);
+          ("mg-complete", seq [ Rw.Magic_complete ]);
+          ("pred,qrp,mg", seq [ Rw.Pred; Rw.Qrp; mg ]);
+          ("mg,qrp", seq [ mg; Rw.Qrp ]);
+          ("optimal", fun p -> fst (Rw.optimal ~max_iters ~adornment:ad p));
+          ("gmt", fun p -> Gmt.pipeline ~query_adornment:ad p);
+        ]
+      in
+      (* The injected bug: a QRP propagation whose definition rules are
+         built from a transformed (e.g. unsoundly tightened) constraint set
+         while folding still trusts the original — what a broken
+         Cset.disjointify / weaken_to_one inside constraint bounding would
+         produce.  (Tampering the result fed to Qrp.propagate itself is not
+         enough: propagate uses one cset consistently for both priming and
+         the fold check, so a tightened cset just folds fewer call sites and
+         stays sound.) *)
+      let tampered t p =
+        let p1, _ = Pred_constraints.gen_prop ~max_iters p in
+        let res = Qrp.gen ~max_iters p1 in
+        let query = p1.Program.query in
+        let to_prime =
+          List.filter
+            (fun (pred, cs) ->
+              Some pred <> query && (not (Cset.is_tt cs)) && not (Cset.is_ff cs))
+            res.Qrp.constraints
+        in
+        let primed_rules =
+          List.concat_map
+            (fun (pred, cs) ->
+              let primed = Qrp.primed_name ~suffix:"'" pred in
+              let arity = Program.arity p1 pred in
+              let defs = Foldunfold.definition ~primed ~orig:pred ~arity (t cs) in
+              let orig_rules = Program.rules_defining p1 pred in
+              List.concat_map
+                (fun (def : Rule.t) ->
+                  Foldunfold.unfold_literal ~defs:orig_rules def (List.hd def.Rule.body))
+                defs)
+            to_prime
+        in
+        let fold_all r =
+          List.fold_left
+            (fun r (pred, cs) ->
+              let primed = Qrp.primed_name ~suffix:"'" pred in
+              match Foldunfold.fold_occurrences ~primed ~orig:pred cs r with
+              | Some r' -> r'
+              | None -> r)
+            r to_prime
+        in
+        let rules = List.map fold_all (p1.Program.rules @ primed_rules) in
+        Program.dedup_rules (Program.restrict_reachable { p1 with Program.rules })
+      in
+      match tamper with
+      | None -> base
+      | Some t -> base @ [ ("qrp(tampered)", tampered t) ]
+
+let drop_disjuncts cs =
+  match Cset.disjuncts cs with [] -> cs | d :: _ -> Cset.of_conj d
+
+(* ----- oracles ----- *)
+
+let same_engine_results name res_idx res_seed =
+  let preds =
+    List.sort_uniq compare
+      (List.map fst (Engine.all_facts res_idx) @ List.map fst (Engine.all_facts res_seed))
+  in
+  let bad_pred =
+    List.find_opt
+      (fun pred ->
+        let fi = Engine.facts_of res_idx pred and fs = Engine.facts_of res_seed pred in
+        List.length fi <> List.length fs
+        || first_uncovered fi fs <> None
+        || first_uncovered fs fi <> None)
+      preds
+  in
+  match bad_pred with
+  | Some pred -> Some (Printf.sprintf "%s: fact sets differ on %s" name pred)
+  | None ->
+      let di = (Engine.stats res_idx).Engine.derivations
+      and ds = (Engine.stats res_seed).Engine.derivations in
+      if di <> ds then
+        Some (Printf.sprintf "%s: derivation counts differ (indexed %d, seed %d)" name di ds)
+      else None
+
+let check_solver_pool st pool =
+  let bad =
+    List.find_opt
+      (fun c ->
+        let agree = fm_sat c = simplex_sat c in
+        if agree then st.checks <- st.checks + 1;
+        not agree)
+      pool
+  in
+  Option.map
+    (fun c ->
+      Printf.sprintf "Fourier-Motzkin says %b, simplex says %b on: %s" (fm_sat c)
+        (simplex_sat c) (Conj.to_string c))
+    bad
+
+let check_bound ~max_bound_iters st p =
+  if not (Decidable.in_class p) then
+    Some "generated program left the Theorem 5.1 decidable class"
+  else
+    let bound = Decidable.iteration_bound p in
+    let limit =
+      match Bigint.to_int_opt bound with
+      | Some b when b < max_bound_iters -> b
+      | _ -> max_bound_iters
+    in
+    let pres = Pred_constraints.gen ~max_iters:limit p in
+    let qres = Qrp.gen ~max_iters:limit p in
+    let within iters = Bigint.compare (Bigint.of_int iters) bound <= 0 in
+    if
+      pres.Pred_constraints.converged
+      && qres.Qrp.converged
+      && within pres.Pred_constraints.iterations
+      && within qres.Qrp.iterations
+    then begin
+      st.checks <- st.checks + 1;
+      None
+    end
+    else
+      Some
+        (Printf.sprintf
+           "constraint generation exceeded the Theorem 5.1 bound %s (pred: %d iters, \
+            converged %b; qrp: %d iters, converged %b; cap %d)"
+           (Bigint.to_string bound) pres.Pred_constraints.iterations
+           pres.Pred_constraints.converged qres.Qrp.iterations qres.Qrp.converged limit)
+
+let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_iters = 20)
+    ~mode st p edb =
+  st.cases <- st.cases + 1;
+  let fail oracle pipeline detail = Some { oracle; pipeline; detail; program = p; edb } in
+  let res0 = Engine.run ~max_iterations ~max_derivations p ~edb in
+  if not (Engine.stats res0).Engine.reached_fixpoint then begin
+    (* a truncated baseline cannot anchor equivalence; skip the case *)
+    st.runs_truncated <- st.runs_truncated + 1;
+    None
+  end
+  else begin
+    st.evaluated <- st.evaluated + 1;
+    st.facts_derived <- st.facts_derived + Engine.total_idb_facts res0 ~edb;
+    let res0_seed = Engine.run ~indexed:false ~max_iterations ~max_derivations p ~edb in
+    match same_engine_results "original" res0 res0_seed with
+    | Some detail -> fail Indexing "eval" detail
+    | None -> (
+        st.checks <- st.checks + 1;
+        let bound_failure =
+          if mode = Generate.Decidable then check_bound ~max_bound_iters:300 st p else None
+        in
+        match bound_failure with
+        | Some detail -> fail Bound "analyze" detail
+        | None -> (
+            let orig_preds = Program.predicates p in
+            let orig_facts pred = Engine.facts_of res0 pred in
+            let answers0 = Engine.answers res0 p in
+            let solver_pool = ref [] in
+            let add_conjs (prog : Program.t) =
+              List.iter (fun (r : Rule.t) -> solver_pool := r.Rule.cstr :: !solver_pool)
+                prog.Program.rules
+            in
+            add_conjs p;
+            List.iter
+              (fun (_, fs) -> List.iter (fun f -> solver_pool := F.cstr f :: !solver_pool) fs)
+              (Engine.all_facts res0);
+            (* run one pipeline; None = all its oracles passed or skipped *)
+            let check_pipeline (name, rw) =
+              match rw p with
+              | exception (Invalid_argument _ | Failure _) ->
+                  st.rewrites_skipped <- st.rewrites_skipped + 1;
+                  None
+              | p' -> (
+                  add_conjs p';
+                  let res' = Engine.run ~max_iterations ~max_derivations p' ~edb in
+                  if not (Engine.stats res').Engine.reached_fixpoint then begin
+                    st.runs_truncated <- st.runs_truncated + 1;
+                    None
+                  end
+                  else
+                    let res'_seed =
+                      Engine.run ~indexed:false ~max_iterations ~max_derivations p' ~edb
+                    in
+                    match same_engine_results name res' res'_seed with
+                    | Some detail -> fail Indexing name detail
+                    | None ->
+                    st.checks <- st.checks + 1;
+                    let arity_ok =
+                      match (p.Program.query, p'.Program.query) with
+                      | Some q, Some q' -> (
+                          try Program.arity p q = Program.arity p' q'
+                          with Not_found -> false)
+                      | _ -> false
+                    in
+                    if not arity_ok then begin
+                      st.rewrites_skipped <- st.rewrites_skipped + 1;
+                      None
+                    end
+                    else
+                      let answers' = Engine.answers res' p' in
+                      match first_uncovered answers0 answers' with
+                      | Some f ->
+                          fail Answers name
+                            (Printf.sprintf "answer %s of the original program is lost"
+                               (F.to_string f))
+                      | None -> (
+                          match first_uncovered answers' answers0 with
+                          | Some f ->
+                              fail Answers name
+                                (Printf.sprintf "extra answer %s not derivable originally"
+                                   (F.to_string f))
+                          | None ->
+                              st.checks <- st.checks + 1;
+                              (* monotonicity: rewritten facts refine original
+                                 relations *)
+                              let bad =
+                                List.find_map
+                                  (fun (pred', facts') ->
+                                    match root_name orig_preds pred' with
+                                    | None -> None
+                                    | Some op ->
+                                        if
+                                          facts' <> []
+                                          && F.arity (List.hd facts')
+                                             <> Program.arity p op
+                                        then None
+                                        else
+                                          Option.map
+                                            (fun f ->
+                                              Printf.sprintf
+                                                "%s derives %s, not subsumed by any \
+                                                 original %s fact"
+                                                pred' (F.to_string f) op)
+                                            (first_uncovered facts' (orig_facts op)))
+                                  (Engine.all_facts res')
+                              in
+                              (match bad with
+                              | Some detail -> fail Monotone name detail
+                              | None ->
+                                  st.checks <- st.checks + 1;
+                                  None)))
+            in
+            match List.find_map check_pipeline (pipelines ~max_iters ?tamper p) with
+            | Some _ as f -> f
+            | None -> (
+                match check_solver_pool st !solver_pool with
+                | Some detail -> fail Solver "solver" detail
+                | None -> None)))
+  end
+
+(* ----- shrinking ----- *)
+
+let valid (p : Program.t) =
+  Program.check p = Ok ()
+  && Program.is_range_restricted p
+  && match p.Program.query with Some q -> Program.is_derived p q | None -> false
+
+let remove_nth n l = List.filteri (fun i _ -> i <> n) l
+
+(* all one-step reductions of a case, smallest-effect last so whole rules
+   and facts go first *)
+let reductions (p : Program.t) edb =
+  let query = p.Program.query in
+  let mk rules = Program.make ?query rules in
+  let drop_rule =
+    List.init (List.length p.Program.rules) (fun i -> (mk (remove_nth i p.Program.rules), edb))
+  in
+  let drop_fact = List.init (List.length edb) (fun i -> (p, remove_nth i edb)) in
+  let map_rule i f =
+    mk (List.mapi (fun j r -> if j = i then f r else r) p.Program.rules)
+  in
+  let drop_lit =
+    List.concat
+      (List.mapi
+         (fun i (r : Rule.t) ->
+           List.init (List.length r.Rule.body) (fun j ->
+               ( map_rule i (fun r ->
+                     Rule.make ~label:r.Rule.label r.Rule.head (remove_nth j r.Rule.body)
+                       r.Rule.cstr),
+                 edb )))
+         p.Program.rules)
+  in
+  let drop_atom =
+    List.concat
+      (List.mapi
+         (fun i (r : Rule.t) ->
+           let atoms = Conj.to_list r.Rule.cstr in
+           List.init (List.length atoms) (fun j ->
+               ( map_rule i (fun r ->
+                     Rule.make ~label:r.Rule.label r.Rule.head r.Rule.body
+                       (Conj.of_list (remove_nth j atoms))),
+                 edb )))
+         p.Program.rules)
+  in
+  List.filter (fun (p', _) -> valid p') (drop_rule @ drop_fact @ drop_lit @ drop_atom)
+
+let shrink ?tamper ?max_iterations ?max_derivations ?max_iters ~mode (f0 : failure) =
+  let budget = ref 400 in
+  let still_fails p edb =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      check_case ?tamper ?max_iterations ?max_derivations ?max_iters ~mode (new_stats ()) p
+        edb
+    end
+  in
+  let rec go (f : failure) =
+    let next =
+      List.find_map
+        (fun (p', edb') ->
+          match still_fails p' edb' with Some f' -> Some f' | None -> None)
+        (reductions f.program f.edb)
+    in
+    match next with Some f' when !budget > 0 -> go f' | _ -> f
+  in
+  go f0
+
+(* ----- top-level runs ----- *)
+
+type summary = { seed : int; count : int; stats : stats; failure : failure option }
+
+let run ?tamper ?config ?max_iterations ?max_derivations ?max_iters ~seed ~count () =
+  let config = match config with Some c -> c | None -> Generate.default Generate.Decidable in
+  let rng = Rng.create seed in
+  let st = new_stats () in
+  let rec go i =
+    if i >= count then None
+    else
+      (* each case gets its own substream so a change in how one case is
+         consumed does not shift every later case *)
+      let case_rng = Rng.split rng in
+      let p, edb = Generate.case case_rng config in
+      match
+        check_case ?tamper ?max_iterations ?max_derivations ?max_iters ~mode:config.Generate.mode
+          st p edb
+      with
+      | None -> go (i + 1)
+      | Some f ->
+          Some (shrink ?tamper ?max_iterations ?max_derivations ?max_iters ~mode:config.Generate.mode f)
+  in
+  { seed; count; stats = st; failure = go 0 }
+
+let replay p edb =
+  let mode = if Decidable.in_class p then Generate.Decidable else Generate.Linear in
+  check_case ~mode (new_stats ()) p edb
+
+(* ----- counterexample rendering ----- *)
+
+let edb_marker = "% --- edb ---"
+
+let fact_to_rule f =
+  let n = F.arity f in
+  if F.is_ground f then
+    let args =
+      List.init n (fun i ->
+          match f.F.args.(i) with
+          | F.Psym s -> Term.sym s
+          | F.Pvar -> (
+              match F.ground_value f (i + 1) with
+              | Some v -> Term.num v
+              | None -> assert false))
+    in
+    Rule.fact (Literal.make (F.pred f) args) Conj.tt
+  else
+    let var i = Var.mk (Printf.sprintf "V%d" i) in
+    let args =
+      List.init n (fun i ->
+          match f.F.args.(i) with
+          | F.Psym s -> Term.sym s
+          | F.Pvar -> Term.var (var (i + 1)))
+    in
+    let ren v = match Var.arg_index v with Some i -> var i | None -> v in
+    Rule.fact (Literal.make (F.pred f) args) (Conj.rename ren (F.cstr f))
+
+let counterexample_to_string (s : summary) (f : failure) =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%% cqlopt fuzz counterexample (seed=%d, count=%d)\n" s.seed s.count;
+  Printf.bprintf b "%% oracle=%s pipeline=%s\n" (oracle_name f.oracle) f.pipeline;
+  Printf.bprintf b "%% %s\n" f.detail;
+  Buffer.add_string b (Program.to_string f.program);
+  Buffer.add_char b '\n';
+  Buffer.add_string b edb_marker;
+  Buffer.add_char b '\n';
+  List.iter (fun fact -> Printf.bprintf b "%s\n" (Rule.to_string (fact_to_rule fact))) f.edb;
+  Buffer.contents b
+
+let parse_counterexample src =
+  let prog_part, edb_part =
+    match
+      let lines = String.split_on_char '\n' src in
+      let rec split acc = function
+        | [] -> None
+        | l :: rest when String.trim l = edb_marker ->
+            Some (String.concat "\n" (List.rev acc), String.concat "\n" rest)
+        | l :: rest -> split (l :: acc) rest
+      in
+      split [] lines
+    with
+    | Some (a, b) -> (a, b)
+    | None -> (src, "")
+  in
+  let p = Parser.program_of_string prog_part in
+  let edb = List.map F.of_fact_rule (Parser.facts_of_string edb_part) in
+  (p, edb)
+
+let _ = oracle_of_name
+
+let pp_summary fmt (s : summary) =
+  let st = s.stats in
+  Format.fprintf fmt
+    "fuzz: seed=%d cases=%d evaluated=%d oracle_checks=%d skipped_rewrites=%d \
+     truncated_runs=%d mean_idb_facts=%.1f@."
+    s.seed st.cases st.evaluated st.checks st.rewrites_skipped st.runs_truncated
+    (if st.evaluated = 0 then 0.0
+     else float_of_int st.facts_derived /. float_of_int st.evaluated);
+  match s.failure with
+  | None -> Format.fprintf fmt "all oracles passed@."
+  | Some f ->
+      Format.fprintf fmt "FAILURE oracle=%s pipeline=%s: %s@." (oracle_name f.oracle)
+        f.pipeline f.detail

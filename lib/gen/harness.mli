@@ -1,0 +1,126 @@
+(** Differential fuzzing harness: run generated (program, query, EDB) cases
+    through every rewrite pipeline and check the equivalence oracles.
+
+    Five oracles guard the paper's claims:
+
+    + {b Answers} — query-answer equivalence: the rewritten program computes
+      exactly the original's query answers (Theorems 4.7/4.8, 6.2, 7.10),
+      compared as fact sets under subsumption (exact on the ground answers
+      range-restricted programs produce).
+    + {b Indexing} — the indexed relation store and the seed list-based
+      engine ([~indexed:false]) agree on every fact set and on the
+      derivation count.
+    + {b Solver} — Fourier–Motzkin elimination and the exact simplex agree
+      on the satisfiability of every constraint conjunction the run touches
+      (rule constraints of every program variant, derived fact constraints).
+    + {b Monotone} — the rewritten program derives, for each original
+      predicate, a subset of the original program's facts (constraint
+      pushing only ever {e shrinks} the computed relations; magic and
+      supplementary predicates are new and exempt).
+    + {b Bound} — on decidable-class inputs (Theorem 5.1) the
+      constraint-generation fixpoints converge within the iteration bound.
+
+    On failure the harness shrinks the case — dropping rules, EDB facts,
+    body literals and constraint atoms while the failure persists and the
+    program stays well-formed — and renders the minimal counterexample as a
+    replayable [.cql] file ({!counterexample_to_string} /
+    {!parse_counterexample}). *)
+
+open Cql_constr
+open Cql_datalog
+
+type oracle = Answers | Indexing | Solver | Monotone | Bound
+
+val oracle_name : oracle -> string
+
+type failure = {
+  oracle : oracle;
+  pipeline : string;  (** e.g. ["pred,qrp,mg"]; ["eval"] for engine oracles *)
+  detail : string;
+  program : Program.t;
+  edb : Cql_eval.Fact.t list;
+}
+
+type stats = {
+  mutable cases : int;  (** generated cases *)
+  mutable evaluated : int;  (** cases whose original run reached fixpoint *)
+  mutable checks : int;  (** individual oracle checks passed *)
+  mutable rewrites_skipped : int;
+      (** pipelines not applicable to a case (e.g. non-groundable GMT) *)
+  mutable runs_truncated : int;  (** evaluations stopped by a budget *)
+  mutable facts_derived : int;  (** IDB facts over all original runs *)
+}
+
+val new_stats : unit -> stats
+
+val check_case :
+  ?tamper:(Cset.t -> Cset.t) ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  ?max_iters:int ->
+  mode:Generate.mode ->
+  stats ->
+  Program.t ->
+  Cql_eval.Fact.t list ->
+  failure option
+(** Run one case through every pipeline and oracle; [None] when all checks
+    pass.  [tamper] injects a bug: an extra ["qrp(tampered)"] pipeline runs
+    a QRP propagation whose definition rules are built from each inferred
+    constraint set transformed by the given function while folding still
+    trusts the untransformed set (e.g. dropping all but one disjunct — the
+    over-tight pushed constraint the oracles must catch).  [max_iterations] /
+    [max_derivations] are evaluation budgets (defaults 25 / 20000);
+    [max_iters] bounds the rewrite fixpoints (default 20). *)
+
+val shrink :
+  ?tamper:(Cset.t -> Cset.t) ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  ?max_iters:int ->
+  mode:Generate.mode ->
+  failure ->
+  failure
+(** Greedily minimize a failing case: re-run {!check_case} on candidates
+    with one rule / EDB fact / body literal / constraint atom removed and
+    keep any reduction that still fails (bounded number of re-checks). *)
+
+type summary = {
+  seed : int;
+  count : int;
+  stats : stats;
+  failure : failure option;  (** the first failure, already shrunk *)
+}
+
+val run :
+  ?tamper:(Cset.t -> Cset.t) ->
+  ?config:Generate.config ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  ?max_iters:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Generate and check [count] cases from the given seed, stopping at (and
+    shrinking) the first failure.  [config] defaults to
+    [Generate.default Decidable]. *)
+
+val replay : Program.t -> Cql_eval.Fact.t list -> failure option
+(** Re-check a single case (e.g. a parsed counterexample); the mode is
+    inferred with {!Cql_core.Decidable.in_class}. *)
+
+val drop_disjuncts : Cset.t -> Cset.t
+(** The canonical injected bug for tests: keep only the first disjunct of a
+    constraint set (an unsoundly tightened constraint — what a rewrite that
+    "bounds disjuncts to one" without {!Cset.weaken_to_one}'s weakening, or
+    a broken {!Cset.disjointify}, would produce). *)
+
+val counterexample_to_string : summary -> failure -> string
+(** A replayable [.cql] document: header comments, the program (with
+    [#query]), a [% --- edb ---] marker, then the EDB facts as clauses. *)
+
+val parse_counterexample : string -> Program.t * Cql_eval.Fact.t list
+(** Inverse of {!counterexample_to_string}.
+    @raise Cql_datalog.Parser.Error on malformed input. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,44 @@
+(* splitmix64: a tiny, fast, well-distributed PRNG with a trivially
+   splittable state (Steele, Lea & Flood, OOPSLA 2014).  All arithmetic is
+   on Int64 so the stream is identical on every platform. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t p =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int v /. float_of_int (1 lsl 53) < p
+
+let pick t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let pick_weighted t wl =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 wl in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: weights must be positive";
+  let n = int t total in
+  let rec go n = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty list"
+    | (w, x) :: rest -> if n < w then x else go (n - w) rest
+  in
+  go n wl

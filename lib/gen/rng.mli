@@ -1,0 +1,33 @@
+(** A small deterministic PRNG (splitmix64) for the fuzzing subsystem.
+
+    The generator must be reproducible across runs and OCaml versions —
+    [cqlopt fuzz --seed 42] has to generate the same programs everywhere,
+    and a counterexample's seed must replay — so we do not use [Random]
+    (whose algorithm changed between OCaml releases) but our own splitmix64
+    stream. *)
+
+type t
+
+val create : int -> t
+(** A fresh stream seeded with the given integer. *)
+
+val split : t -> t
+(** An independent stream derived from the current state (advances the
+    parent).  Used to give each generated test case its own substream so
+    shrinking or skipping one case does not perturb the next. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** Pick with integer weights (all weights positive). *)

@@ -115,20 +115,26 @@ let same_pattern a b =
 
 (* cheap pre-filter: can this fact possibly unify with the literal?
    Constant literal arguments must match the fact's symbolic pattern and
-   pinned values.  (Repeated variables are left to real unification.) *)
+   pinned values.  A [Pvar] position not pinned to a number can still cover
+   a symbolic constant — either as a universal wildcard ([$i] absent from
+   the constraint) or through a position-equality over symbol-bound
+   positions, which unification decides exactly — so only a numeric pin
+   rejects a symbol here.  (Repeated variables are left to real
+   unification.) *)
 let matches_literal (l : Literal.t) f =
   Array.length f.args = Literal.arity l
-  && List.for_all2
-       (fun t (p, pin) ->
-         match (t, p) with
+  && begin
+       let ok i t =
+         match (t, f.args.(i)) with
          | Term.C (Term.Sym s), Psym s' -> s = s'
-         | Term.C (Term.Sym _), Pvar -> false
+         | Term.C (Term.Sym _), Pvar -> f.pinned.(i) = None
          | Term.C (Term.Num _), Psym _ -> false
          | Term.C (Term.Num q), Pvar -> (
-             match pin with Some v -> Rat.equal v q | None -> true)
-         | Term.V _, _ -> true)
-       l.Literal.args
-       (List.combine (Array.to_list f.args) (Array.to_list f.pinned))
+             match f.pinned.(i) with Some v -> Rat.equal v q | None -> true)
+         | Term.V _, _ -> true
+       in
+       List.for_all Fun.id (List.mapi ok l.Literal.args)
+     end
 
 let all_pinned f =
   Array.for_all2

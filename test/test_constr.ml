@@ -255,6 +255,65 @@ let test_cset_weaken_to_one () =
   check_bool "weakened hull" true (Conj.equiv weak (conj [ Atom.gt vt (n 0); Atom.gt vc (n 0) ]));
   check_bool "ff weakens to ff" true (Conj.equal (Cset.weaken_to_one Cset.ff) Conj.ff)
 
+(* every operation on the [tt] / [ff] boundary values: the fuzzing harness
+   feeds these degenerate sets to the rewrites constantly (QRP seeds every
+   non-query predicate with [false]), so their algebra must be exact *)
+let test_cset_edge_cases () =
+  let c_le4 = conj [ Atom.le vx (n 4) ] in
+  let cs = Cset.of_conj c_le4 in
+  (* construction *)
+  check_bool "of_disjuncts [] is ff" true (Cset.is_ff (Cset.of_disjuncts []));
+  check_bool "of_conj Conj.ff is ff" true (Cset.is_ff (Cset.of_conj Conj.ff));
+  check_bool "of_conj Conj.tt is tt" true (Cset.is_tt (Cset.of_conj Conj.tt));
+  check_bool "unsat disjunct pruned" true
+    (Cset.num_disjuncts (Cset.of_disjuncts [ c_le4; Conj.ff ]) = 1);
+  check_bool "tt disjunct absorbs the rest" true
+    (Cset.is_tt (Cset.of_disjuncts [ c_le4; Conj.tt ]));
+  check_int "num_disjuncts ff" 0 (Cset.num_disjuncts Cset.ff);
+  check_int "num_disjuncts tt" 1 (Cset.num_disjuncts Cset.tt);
+  (* lattice identities *)
+  check_bool "ff and cs" true (Cset.is_ff (Cset.and_ Cset.ff cs));
+  check_bool "tt and cs" true (Cset.equiv (Cset.and_ Cset.tt cs) cs);
+  check_bool "ff or cs" true (Cset.equiv (Cset.or_ Cset.ff cs) cs);
+  check_bool "tt or cs" true (Cset.is_tt (Cset.or_ Cset.tt cs));
+  check_bool "and_conj Conj.ff" true (Cset.is_ff (Cset.and_conj Conj.ff cs));
+  check_bool "and_conj Conj.tt" true (Cset.equiv (Cset.and_conj Conj.tt cs) cs);
+  (* implication: ff is bottom, tt is top *)
+  check_bool "ff implies anything" true (Cset.implies Cset.ff cs && Cset.implies Cset.ff Cset.ff);
+  check_bool "anything implies tt" true (Cset.implies cs Cset.tt && Cset.implies Cset.tt Cset.tt);
+  check_bool "tt does not imply ff" false (Cset.implies Cset.tt Cset.ff);
+  check_bool "sat set does not imply ff" false (Cset.implies cs Cset.ff);
+  check_bool "conj_implies from Conj.ff" true (Cset.conj_implies Conj.ff Cset.ff);
+  check_bool "conj_implies unsat conj to ff" true
+    (Cset.conj_implies (conj [ Atom.le (n 1) (n 0) ]) Cset.ff);
+  check_bool "conj_implies Conj.tt to ff" false (Cset.conj_implies Conj.tt Cset.ff);
+  (* complement: cs /\ ~cs = ff, cs \/ ~cs = tt *)
+  check_bool "cs and its negation" true (Cset.is_ff (Cset.and_ cs (Cset.negate_conj c_le4)));
+  check_bool "cs or its negation" true (Cset.equiv (Cset.or_ cs (Cset.negate_conj c_le4)) Cset.tt);
+  check_bool "negate_conj tt" true (Cset.is_ff (Cset.negate_conj Conj.tt));
+  check_bool "negate_conj ff" true (Cset.is_tt (Cset.negate_conj Conj.ff));
+  (* transformations preserve the boundary values *)
+  check_bool "disjointify ff" true (Cset.is_ff (Cset.disjointify Cset.ff));
+  check_bool "disjointify tt" true (Cset.is_tt (Cset.disjointify Cset.tt));
+  check_bool "simplify ff" true (Cset.is_ff (Cset.simplify Cset.ff));
+  check_bool "simplify tt" true (Cset.is_tt (Cset.simplify Cset.tt));
+  check_bool "project ff" true (Cset.is_ff (Cset.project ~keep:Var.Set.empty Cset.ff));
+  check_bool "project tt" true (Cset.is_tt (Cset.project ~keep:Var.Set.empty Cset.tt));
+  check_bool "project everything away is tt" true
+    (Cset.is_tt (Cset.project ~keep:Var.Set.empty cs));
+  check_bool "weaken_to_one tt" true (Conj.is_tt (Cset.weaken_to_one Cset.tt));
+  check_bool "weaken_to_one with tt disjunct" true
+    (Conj.is_tt (Cset.weaken_to_one (Cset.of_disjuncts [ c_le4; Conj.tt ])));
+  (* pairwise-unsatisfiable conjunction collapses to ff *)
+  let low_or_high = Cset.of_disjuncts [ conj [ Atom.le vx (n 0) ]; conj [ Atom.le (n 10) vx ] ] in
+  let middle = Cset.of_conj (conj [ Atom.le (n 2) vx; Atom.le vx (n 5) ]) in
+  check_bool "disjoint bands conjoin to ff" true (Cset.is_ff (Cset.and_ low_or_high middle));
+  (* comparison treats semantically-false sets alike *)
+  check_bool "equal ff ff" true (Cset.equal Cset.ff Cset.ff);
+  check_bool "tt distinct from ff" false (Cset.equal Cset.tt Cset.ff);
+  check_bool "unsat conj equiv ff" true
+    (Cset.equiv Cset.ff (Cset.of_conj (conj [ Atom.le (n 1) (n 0) ])))
+
 (* ----- properties ----- *)
 
 let vars_pool = [| x; y; z; w |]
@@ -517,6 +576,7 @@ let () =
           Alcotest.test_case "conjunction" `Quick test_cset_and;
           Alcotest.test_case "disjointify" `Quick test_cset_disjointify;
           Alcotest.test_case "weaken_to_one" `Quick test_cset_weaken_to_one;
+          Alcotest.test_case "tt/ff edge cases" `Quick test_cset_edge_cases;
         ] );
       ( "simplex",
         [

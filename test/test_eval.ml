@@ -186,6 +186,45 @@ let test_derivation_budget () =
   check_bool "stopped by derivations" false (Engine.stats res).Engine.reached_fixpoint;
   check_bool "at most 10" true ((Engine.stats res).Engine.derivations <= 10)
 
+(* budget exhaustion must be reported identically by the indexed and the
+   seed list engine: [reached_fixpoint = false], the budget respected, and
+   the partial results still available -- never a silent truncation *)
+let test_budget_truncation_both_engines () =
+  let diverging = parse "r1: p(0).\nr2: p(Y) :- p(X), Y = X + 1.\n#query p." in
+  List.iter
+    (fun indexed ->
+      let tag = if indexed then "indexed" else "seed" in
+      let by_iter = Engine.run ~indexed ~max_iterations:5 diverging ~edb:[] in
+      let s = Engine.stats by_iter in
+      check_bool (tag ^ ": iteration budget reported") false s.Engine.reached_fixpoint;
+      check_bool (tag ^ ": iterations within budget") true (s.Engine.iterations <= 5);
+      check_bool (tag ^ ": partial facts available") true
+        (Engine.facts_of by_iter "p" <> []);
+      let by_deriv = Engine.run ~indexed ~max_derivations:7 diverging ~edb:[] in
+      let s = Engine.stats by_deriv in
+      check_bool (tag ^ ": derivation budget reported") false s.Engine.reached_fixpoint;
+      check_bool (tag ^ ": derivations within budget") true (s.Engine.derivations <= 7);
+      check_bool (tag ^ ": partial facts under derivation budget") true
+        (Engine.facts_of by_deriv "p" <> []);
+      (* the naive strategy reports truncation the same way *)
+      let naive = Engine.run_naive ~indexed ~max_iterations:4 diverging ~edb:[] in
+      check_bool (tag ^ ": naive reports truncation") false
+        (Engine.stats naive).Engine.reached_fixpoint;
+      (* a terminating program under the same budgets still reports fixpoint *)
+      let finite = parse "r1: q(1).\nr2: q(2).\n#query q." in
+      let done_ = Engine.run ~indexed ~max_iterations:5 ~max_derivations:7 finite ~edb:[] in
+      check_bool (tag ^ ": fixpoint when budgets suffice") true
+        (Engine.stats done_).Engine.reached_fixpoint)
+    [ true; false ];
+  (* both engines truncate at the same point: same facts, same counters *)
+  let ri = Engine.run ~max_iterations:5 diverging ~edb:[] in
+  let rs = Engine.run ~indexed:false ~max_iterations:5 diverging ~edb:[] in
+  check_int "same truncated fact count"
+    (List.length (Engine.facts_of ri "p"))
+    (List.length (Engine.facts_of rs "p"));
+  check_int "same truncated derivation count" (Engine.stats ri).Engine.derivations
+    (Engine.stats rs).Engine.derivations
+
 (* ----- semi-naive vs naive cross-check ----- *)
 
 let relations_equivalent res1 res2 preds =
@@ -433,6 +472,8 @@ let () =
           Alcotest.test_case "subsumption during evaluation" `Quick test_subsumption_during_evaluation;
           Alcotest.test_case "fib diverges, budget stops" `Quick test_fib_forward_style;
           Alcotest.test_case "derivation budget" `Quick test_derivation_budget;
+          Alcotest.test_case "budget truncation both engines" `Quick
+            test_budget_truncation_both_engines;
           Alcotest.test_case "semi-naive vs naive" `Quick test_seminaive_vs_naive;
           Alcotest.test_case "iteration counts" `Quick test_iteration_count;
         ] );

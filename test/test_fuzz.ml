@@ -1,0 +1,129 @@
+(* Tests for the differential fuzzing subsystem (Cql_gen): generator
+   invariants as qcheck properties over seeds, fixed-seed determinism of the
+   harness, zero-failure runs in both constraint modes, the injected-bug
+   catch with its shrink bound, and counterexample round-tripping. *)
+
+open Cql_datalog
+module G = Cql_gen.Generate
+module H = Cql_gen.Harness
+module Rng = Cql_gen.Rng
+module Decidable = Cql_core.Decidable
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- generator invariants, property-style over the seed space ----- *)
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(0 -- 1_000_000)
+
+let prop_case_well_formed =
+  QCheck.Test.make ~name:"generated cases are well-formed" ~count:150 seed_arb (fun seed ->
+      let rng = Rng.create seed in
+      let p, edb = G.case rng (G.default G.Decidable) in
+      Program.check p = Ok ()
+      && Program.is_range_restricted p
+      && (match p.Program.query with Some q -> Program.is_derived p q | None -> false)
+      && List.for_all Cql_eval.Fact.is_ground edb)
+
+let prop_decidable_in_class =
+  QCheck.Test.make ~name:"decidable mode stays in the Theorem 5.1 class" ~count:150 seed_arb
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p, _ = G.case rng (G.default G.Decidable) in
+      Decidable.in_class p)
+
+let prop_linear_well_formed =
+  QCheck.Test.make ~name:"linear mode is still range-restricted" ~count:150 seed_arb
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p, _ = G.case rng (G.default G.Linear) in
+      Program.check p = Ok () && Program.is_range_restricted p)
+
+(* ----- fixed-seed determinism ----- *)
+
+let test_determinism () =
+  let snapshot () =
+    let s = H.run ~seed:42 ~count:30 () in
+    ( s.H.stats.H.cases,
+      s.H.stats.H.evaluated,
+      s.H.stats.H.checks,
+      s.H.stats.H.facts_derived,
+      s.H.failure = None )
+  in
+  let a = snapshot () and b = snapshot () in
+  check_bool "same seed, same run" true (a = b);
+  let rng1 = Rng.create 7 and rng2 = Rng.create 7 in
+  check_bool "same seed, same program" true
+    (Program.to_string (G.program rng1 (G.default G.Decidable))
+    = Program.to_string (G.program rng2 (G.default G.Decidable)))
+
+(* ----- zero-failure runs per mode ----- *)
+
+let test_oracles_decidable () =
+  let s = H.run ~seed:42 ~count:60 () in
+  check_int "all cases generated" 60 s.H.stats.H.cases;
+  check_bool "no failure" true (s.H.failure = None);
+  check_bool "oracle checks happened" true (s.H.stats.H.checks > 0)
+
+let test_oracles_linear () =
+  let s = H.run ~config:(G.default G.Linear) ~seed:42 ~count:60 () in
+  check_bool "no failure" true (s.H.failure = None);
+  check_bool "some cases evaluated" true (s.H.stats.H.evaluated > 0)
+
+(* ----- the injected bug is caught and shrinks small ----- *)
+
+let test_injected_bug_caught () =
+  (* a slightly denser configuration reaches a multi-disjunct QRP constraint
+     quickly; the broken propagation (definitions from a tightened cset,
+     folds trusting the original) must lose an answer *)
+  let config =
+    { (G.default G.Decidable) with G.max_rules_per_pred = 3; G.max_body_lits = 3;
+      G.max_edb_facts = 6 }
+  in
+  let s = H.run ~tamper:H.drop_disjuncts ~config ~seed:42 ~count:200 () in
+  match s.H.failure with
+  | None -> Alcotest.fail "injected bug was not caught"
+  | Some f ->
+      check_bool "caught by the answers oracle" true (f.H.oracle = H.Answers);
+      check_bool "attributed to the tampered pipeline" true (f.H.pipeline = "qrp(tampered)");
+      let rules = List.length f.H.program.Program.rules in
+      check_bool "shrunk to at most 4 rules" true (rules <= 4);
+      (* the shrunk case must still fail on replay with the same tamper *)
+      check_bool "shrunk case still fails" true
+        (H.check_case ~tamper:H.drop_disjuncts ~mode:G.Decidable (H.new_stats ()) f.H.program
+           f.H.edb
+        <> None)
+
+(* ----- counterexample round-trip ----- *)
+
+let test_counterexample_roundtrip () =
+  let rng = Rng.create 11 in
+  let p, edb = G.case rng (G.default G.Decidable) in
+  let failure = { H.oracle = H.Answers; pipeline = "qrp"; detail = "demo"; program = p; edb } in
+  let summary = { H.seed = 11; count = 1; stats = H.new_stats (); failure = Some failure } in
+  let doc = H.counterexample_to_string summary failure in
+  let p', edb' = H.parse_counterexample doc in
+  (* the parser freshens variable names; compare after prettification *)
+  check_bool "program survives the round trip" true
+    (Program.to_string (Program.prettify p) = Program.to_string (Program.prettify p'));
+  check_int "edb size survives" (List.length edb) (List.length edb');
+  check_bool "edb facts survive" true
+    (List.for_all2 Cql_eval.Fact.equal
+       (List.sort Cql_eval.Fact.compare edb)
+       (List.sort Cql_eval.Fact.compare edb'))
+
+let () =
+  let qt = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        qt [ prop_case_well_formed; prop_decidable_in_class; prop_linear_well_formed ] );
+      ( "harness",
+        [
+          Alcotest.test_case "fixed-seed determinism" `Quick test_determinism;
+          Alcotest.test_case "decidable mode, oracles pass" `Quick test_oracles_decidable;
+          Alcotest.test_case "linear mode, oracles pass" `Quick test_oracles_linear;
+          Alcotest.test_case "injected bug caught and shrunk" `Quick test_injected_bug_caught;
+          Alcotest.test_case "counterexample round-trip" `Quick test_counterexample_roundtrip;
+        ] );
+    ]
