@@ -584,7 +584,9 @@ let timing_tests () =
         (Staged.stage (fun () -> ignore (Gmt.pipeline ~query_adornment:"ff" (parse ex61_src))));
       Test.make ~name:"eval/flights-P(8, capped)"
         (Staged.stage (fun () ->
-             ignore (Engine.run ~max_iterations:6 ~max_derivations:4000 flights ~edb:edb8)));
+             (* budget keeps the P-vs-P' contrast visible (P' needs ~a tenth
+                of this) while the whole suite stays under a minute *)
+             ignore (Engine.run ~max_iterations:6 ~max_derivations:1500 flights ~edb:edb8)));
       Test.make ~name:"eval/flights-P'(8)"
         (Staged.stage (fun () -> ignore (Engine.run ~max_iterations:10 flights' ~edb:edb8)));
       Test.make ~name:"eval/fib-magic-constrained"
@@ -616,6 +618,14 @@ let timing_tests () =
                conj [ Atom.le (Linexpr.add (arg 1) (arg 2)) (n 6); Atom.ge (arg 1) (n 2) ]
              in
              ignore (Conj.implies_atom c (Atom.le (arg 2) (n 4)))));
+      Test.make ~name:"solver/implication-cached"
+        (Staged.stage
+           (* pre-interned terms and a warmed cache: the steady-state cost of
+              a repeated implication query (two table lookups) *)
+           (let c = conj [ Atom.le (Linexpr.add (arg 1) (arg 2)) (n 6); Atom.ge (arg 1) (n 2) ] in
+            let a = Atom.le (arg 2) (n 4) in
+            ignore (Conj.implies_atom c a);
+            fun () -> ignore (Conj.implies_atom c a)));
   ]
 
 (* [measure_timings tests] is [(name, ns-per-run option)] in test order *)
@@ -804,6 +814,52 @@ let json_fuzz () =
         ])
     (fuzz_summaries ())
 
+(* decision-procedure call counts and cache hit rates over two representative
+   workloads, each run from cold caches and zeroed counters *)
+let json_solver_cache () =
+  let solver_stats_json (s : Solver_stats.t) =
+    Obj
+      [
+        ("sat_checks", jint s.Solver_stats.sat_checks);
+        ("implies_checks", jint s.Solver_stats.implies_checks);
+        ("implies_atom_checks", jint s.Solver_stats.implies_atom_checks);
+        ("cset_implies_checks", jint s.Solver_stats.cset_implies_checks);
+        ("project_calls", jint s.Solver_stats.project_calls);
+        ("simplex_runs", jint s.Solver_stats.simplex_runs);
+        ("simplex_pivots", jint s.Solver_stats.simplex_pivots);
+        ("fm_eliminations", jint s.Solver_stats.fm_eliminations);
+        ( "caches",
+          List
+            (List.map
+               (fun (c : Memo.table_stats) ->
+                 Obj
+                   [
+                     ("name", Str c.Memo.name);
+                     ("hits", jint c.Memo.hits);
+                     ("misses", jint c.Memo.misses);
+                     ("entries", jint c.Memo.entries);
+                   ])
+               s.Solver_stats.caches) );
+        ("cache_hits", jint (Solver_stats.total_hits s));
+        ("cache_misses", jint (Solver_stats.total_misses s));
+        ("cache_hit_rate", jfloat (Solver_stats.hit_rate s));
+      ]
+  in
+  let workload name f =
+    Memo.clear_all ();
+    Solver_stats.reset ();
+    f ();
+    (name, solver_stats_json (Solver_stats.snapshot ()))
+  in
+  [
+    workload "rewrite_flights" (fun () ->
+        ignore (Rewrite.constraint_rewrite (parse flights_src)));
+    workload "fuzz_decidable_50" (fun () ->
+        let module G = Cql_gen.Generate in
+        let module H = Cql_gen.Harness in
+        ignore (H.run ~config:(G.default G.Decidable) ~seed:fuzz_seed ~count:50 ()));
+  ]
+
 let run_json () =
   let timings =
     List.map
@@ -828,6 +884,7 @@ let run_json () =
               ("optimal_orderings", List (json_optimal ()));
               ("fib_backward", json_fib ());
               ("fuzz", List (json_fuzz ()));
+              ("solver_cache", Obj (json_solver_cache ()));
             ] );
         ("timings", List timings);
       ]

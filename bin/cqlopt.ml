@@ -44,6 +44,15 @@ let max_iters_arg =
   Arg.(value & opt int 50 & info [ "max-iters" ] ~docv:"N"
          ~doc:"Iteration budget for the constraint-generation fixpoints")
 
+let solver_stats_arg =
+  Arg.(value & flag & info [ "solver-stats" ]
+         ~doc:"After the run, print decision-procedure call counts and \
+               memoization cache hit rates to stderr")
+
+let print_solver_stats flag =
+  if flag then
+    Format.eprintf "%a@?" Cql_constr.Solver_stats.pp (Cql_constr.Solver_stats.snapshot ())
+
 (* ----- analyze ----- *)
 
 let analyze_cmd =
@@ -102,7 +111,9 @@ let parse_steps adornment constraint_magic s =
     (String.split_on_char ',' s)
 
 let rewrite_cmd =
-  let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify =
+  let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
+      solver_stats =
+    let code =
     match read_program path with
     | Error msg ->
         prerr_endline msg;
@@ -137,6 +148,9 @@ let rewrite_cmd =
             let p' = if simplify then Simplify.program p' else p' in
             print_endline (Program.to_string (Program.prettify p'));
             0)
+    in
+    print_solver_stats solver_stats;
+    code
   in
   let steps =
     Arg.(value & opt string "pred,qrp" & info [ "steps" ] ~docv:"STEPS"
@@ -164,14 +178,16 @@ let rewrite_cmd =
   in
   let term =
     Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
-          $ max_iters_arg $ inline_seed $ simplify)
+          $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg)
   in
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a program by pushing constraint selections") term
 
 (* ----- eval ----- *)
 
 let eval_cmd =
-  let run path edb_path max_iterations max_derivations traced naive explain stratified =
+  let run path edb_path max_iterations max_derivations traced naive explain stratified
+      solver_stats =
+    let code =
     match read_program path with
     | Error msg ->
         prerr_endline msg;
@@ -217,6 +233,9 @@ let eval_cmd =
                   (Cql_eval.Engine.facts_of res q)
             | None -> ());
             0)
+    in
+    print_solver_stats solver_stats;
+    code
   in
   let edb =
     Arg.(value & opt (some file) None & info [ "edb" ] ~docv:"FILE" ~doc:"EDB facts file")
@@ -239,7 +258,7 @@ let eval_cmd =
   in
   let term =
     Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
-          $ explain $ stratified)
+          $ explain $ stratified $ solver_stats_arg)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
@@ -248,7 +267,8 @@ let eval_cmd =
 let fuzz_cmd =
   let module H = Cql_gen.Harness in
   let module G = Cql_gen.Generate in
-  let run seed count mode inject_bug replay out =
+  let run seed count mode inject_bug replay out solver_stats =
+    let code =
     match replay with
     | Some path -> (
         match read_file path with
@@ -299,6 +319,9 @@ let fuzz_cmd =
                   0
                 end
                 else 1))
+    in
+    print_solver_stats solver_stats;
+    code
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed") in
   let count =
@@ -322,7 +345,9 @@ let fuzz_cmd =
     Arg.(value & opt string "fuzz_counterexample.cql" & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Where to write the shrunk counterexample on failure")
   in
-  let term = Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out) in
+  let term =
+    Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg)
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: generated programs through every pipeline and oracle")

@@ -2,7 +2,33 @@ open Cql_num
 
 type op = Le | Lt | Eq
 
-type t = { expr : Linexpr.t; op : op }
+type t = { expr : Linexpr.t; op : op; id : int; hash : int }
+
+(* hash-consing: one interned node per normalized (expr, op), so equality is
+   physical and [id]s key the memoization caches in O(1) *)
+module WT = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = a.op = b.op && Linexpr.equal a.expr b.expr
+  let hash a = a.hash
+end)
+
+let table = WT.create 1024
+let counter = ref 0
+
+let struct_hash e op =
+  let tag = match op with Le -> 3 | Lt -> 5 | Eq -> 7 in
+  ((Linexpr.hash e * 31) + tag) land max_int
+
+let intern e op =
+  let probe = { expr = e; op; id = -1; hash = struct_hash e op } in
+  match WT.find_opt table probe with
+  | Some a -> a
+  | None ->
+      incr counter;
+      let a = { probe with id = !counter } in
+      WT.add table a;
+      a
 
 let make e op =
   let e = Linexpr.integerize e in
@@ -15,8 +41,8 @@ let make e op =
         | [] when Rat.sign (Linexpr.constant e) < 0 -> Linexpr.neg e
         | _ -> e
       in
-      { expr = e; op }
-  | Le | Lt -> { expr = e; op }
+      intern e op
+  | Le | Lt -> intern e op
 
 let le e1 e2 = make (Linexpr.sub e1 e2) Le
 let lt e1 e2 = make (Linexpr.sub e1 e2) Lt
@@ -59,11 +85,18 @@ let eval_at env a =
 let subst x repl a = make (Linexpr.subst x repl a.expr) a.op
 let rename f a = make (Linexpr.rename f a.expr) a.op
 
+(* structural order (op, then expression) so the canonical atom order inside
+   conjunctions is independent of interning order; physically-equal atoms
+   short-circuit *)
 let compare a b =
-  let c = Stdlib.compare a.op b.op in
-  if c <> 0 then c else Linexpr.compare a.expr b.expr
+  if a == b then 0
+  else
+    let c = Stdlib.compare a.op b.op in
+    if c <> 0 then c else Linexpr.compare a.expr b.expr
 
-let equal a b = compare a b = 0
+let equal a b = a == b
+let id a = a.id
+let hash a = a.hash
 
 let op_string = function Le -> "<=" | Lt -> "<" | Eq -> "="
 

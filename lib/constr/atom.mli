@@ -8,8 +8,11 @@
 
 type op = Le | Lt | Eq
 
-type t = private { expr : Linexpr.t; op : op }
-(** The constraint [expr op 0]. *)
+type t = private { expr : Linexpr.t; op : op; id : int; hash : int }
+(** The constraint [expr op 0].  Atoms are hash-consed: {!make} interns the
+    normalized atom in a weak table, so structurally equal atoms are
+    physically equal and [id] is a unique (never reused) integer keying the
+    memoization caches. *)
 
 (** {1 Construction} *)
 
@@ -57,6 +60,17 @@ val rename : (Var.t -> Var.t) -> t -> t
 (** {1 Comparison and printing} *)
 
 val compare : t -> t -> int
+(** Structural order (operator, then expression) — the canonical atom order
+    inside conjunctions, independent of interning order. *)
+
 val equal : t -> t -> bool
+(** Physical equality; equivalent to structural equality by interning. *)
+
+val id : t -> int
+(** Unique interning id (never reused across the process lifetime). *)
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal}. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,11 +1,40 @@
 open Cql_num
 
-type t = Atom.t list (* sorted by Atom.compare, no duplicates *)
+(* A conjunction is an interned node wrapping its sorted, duplicate-free atom
+   list.  Hash-consing makes equality physical and gives every canonical
+   conjunction a unique integer id; the decision procedures below are
+   memoized in id-keyed caches (see Memo), with raw entry counts recorded in
+   Solver_stats. *)
+type t = { atoms : Atom.t list; id : int; hash : int }
 
-let tt : t = []
-let ff : t = [ Atom.ff ]
+module WT = Weak.Make (struct
+  type nonrec t = t
 
-let is_ff_syntactic c = match c with [ a ] -> Atom.equal a Atom.ff | _ -> false
+  (* atoms are themselves interned, so element-wise physical equality
+     decides list equality *)
+  let equal a b = try List.for_all2 ( == ) a.atoms b.atoms with Invalid_argument _ -> false
+  let hash c = c.hash
+end)
+
+let table = WT.create 4096
+let counter = ref 0
+
+let intern atoms =
+  let h = List.fold_left (fun acc a -> ((acc * 65599) lxor Atom.id a) land max_int) 17 atoms in
+  let probe = { atoms; id = -1; hash = h } in
+  match WT.find_opt table probe with
+  | Some c -> c
+  | None ->
+      incr counter;
+      let c = { probe with id = !counter } in
+      WT.add table c;
+      c
+
+let tt : t = intern []
+let ff : t = intern [ Atom.ff ]
+
+(* interning makes the syntactic-ff test physical *)
+let is_ff_syntactic c = c == ff
 
 (* Normalize a raw atom list: evaluate variable-free atoms, sort, dedup;
    any false atom collapses the whole conjunction to [ff]. *)
@@ -21,16 +50,63 @@ let of_list atoms =
           | None -> true)
         atoms
     in
-    List.sort_uniq Atom.compare kept
+    intern (List.sort_uniq Atom.compare kept)
   with False -> ff
 
 let singleton a = of_list [ a ]
-let add a c = of_list (a :: c)
-let and_ a b = of_list (List.rev_append a b)
-let to_list c = c
-let is_tt c = c = []
-let size c = List.length c
-let vars c = List.fold_left (fun acc a -> Var.Set.union acc (Atom.vars a)) Var.Set.empty c
+let add a c = of_list (a :: c.atoms)
+
+let and_ a b =
+  if a == b || b == tt then a
+  else if a == tt then b
+  else of_list (List.rev_append a.atoms b.atoms)
+
+let to_list c = c.atoms
+let is_tt c = c == tt
+let size c = List.length c.atoms
+
+let vars c =
+  List.fold_left (fun acc a -> Var.Set.union acc (Atom.vars a)) Var.Set.empty c.atoms
+
+let id c = c.id
+let hash c = c.hash
+
+(* ----- caches ----- *)
+
+let sat_tbl : (int, bool) Hashtbl.t = Hashtbl.create 4096
+
+let sat_memo =
+  Memo.register ~name:"conj_is_sat"
+    ~clear:(fun () -> Hashtbl.reset sat_tbl)
+    ~size:(fun () -> Hashtbl.length sat_tbl)
+
+let implies_atom_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
+
+let implies_atom_memo =
+  Memo.register ~name:"conj_implies_atom"
+    ~clear:(fun () -> Hashtbl.reset implies_atom_tbl)
+    ~size:(fun () -> Hashtbl.length implies_atom_tbl)
+
+let implies_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
+
+let implies_memo =
+  Memo.register ~name:"conj_implies"
+    ~clear:(fun () -> Hashtbl.reset implies_tbl)
+    ~size:(fun () -> Hashtbl.length implies_tbl)
+
+let project_tbl : (int * int list, t) Hashtbl.t = Hashtbl.create 1024
+
+let project_memo =
+  Memo.register ~name:"conj_project"
+    ~clear:(fun () -> Hashtbl.reset project_tbl)
+    ~size:(fun () -> Hashtbl.length project_tbl)
+
+let simplify_tbl : (int, t) Hashtbl.t = Hashtbl.create 1024
+
+let simplify_memo =
+  Memo.register ~name:"conj_simplify"
+    ~clear:(fun () -> Hashtbl.reset simplify_tbl)
+    ~size:(fun () -> Hashtbl.length simplify_tbl)
 
 (* ----- variable elimination ----- *)
 
@@ -39,7 +115,7 @@ let vars c = List.fold_left (fun acc a -> Var.Set.union acc (Atom.vars a)) Var.S
 let eliminate x (c : t) : t =
   if is_ff_syntactic c then c
   else
-    let mentions, rest = List.partition (Atom.mem x) c in
+    let mentions, rest = List.partition (Atom.mem x) c.atoms in
     if mentions = [] then c
     else
       let eq_opt = List.find_opt (fun (a : Atom.t) -> a.Atom.op = Atom.Eq) mentions in
@@ -52,6 +128,7 @@ let eliminate x (c : t) : t =
           let others = List.filter (fun a' -> not (Atom.equal a' eqa)) mentions in
           of_list (rest @ List.map (Atom.subst x repl) others)
       | None ->
+          Solver_stats.count_fm_elimination ();
           (* all atoms mentioning x are inequalities e op 0 with op in {Le,Lt} *)
           let uppers, lowers =
             List.partition
@@ -81,7 +158,7 @@ let eliminate x (c : t) : t =
           in
           of_list (rest @ combined)
 
-let project ~keep (c : t) : t =
+let project_uncached ~keep (c : t) : t =
   let rec go c =
     if is_ff_syntactic c then c
     else
@@ -93,7 +170,9 @@ let project ~keep (c : t) : t =
         let with_eq =
           Var.Set.filter
             (fun x ->
-              List.exists (fun (a : Atom.t) -> a.Atom.op = Atom.Eq && Atom.mem x a) c)
+              List.exists
+                (fun (a : Atom.t) -> a.Atom.op = Atom.Eq && Atom.mem x a)
+                c.atoms)
             to_elim
         in
         let x =
@@ -105,7 +184,7 @@ let project ~keep (c : t) : t =
                   (fun (p, n) (a : Atom.t) ->
                     let s = Rat.sign (Linexpr.coeff x a.Atom.expr) in
                     if s > 0 then (p + 1, n) else if s < 0 then (p, n + 1) else (p, n))
-                  (0, 0) c
+                  (0, 0) c.atoms
               in
               (pos * neg) - (pos + neg)
             in
@@ -122,10 +201,25 @@ let project ~keep (c : t) : t =
   in
   go c
 
+let project ~keep (c : t) : t =
+  Solver_stats.count_project_call ();
+  if is_ff_syntactic c || c == tt then c
+  else
+    let cvars = vars c in
+    if Var.Set.subset cvars keep then c
+    else
+      (* the result depends only on keep ∩ vars c, so canonicalize the key *)
+      let key = (c.id, List.map Var.id (Var.Set.elements (Var.Set.inter keep cvars))) in
+      Memo.cached project_memo project_tbl key (fun () -> project_uncached ~keep c)
+
 (* satisfiability via the simplex backend (cross-checked against full
    Fourier-Motzkin elimination by the property tests); projection remains
    the eliminator's job *)
-let is_sat c = if is_ff_syntactic c then false else Simplex.is_sat c
+let is_sat c =
+  Solver_stats.count_sat_check ();
+  if is_ff_syntactic c then false
+  else if c == tt then true
+  else Memo.cached sat_memo sat_tbl c.id (fun () -> Simplex.is_sat c.atoms)
 
 let eval_at env c =
   let rec go = function
@@ -136,34 +230,55 @@ let eval_at env c =
         | Some false -> Some false
         | None -> None)
   in
-  go c
+  go c.atoms
 
 let implies_atom c a =
-  List.for_all (fun na -> not (is_sat (add na c))) (Atom.negate a)
+  Solver_stats.count_implies_atom_check ();
+  if is_ff_syntactic c then true
+  else
+    match Atom.truth a with
+    | Some b -> b || not (is_sat c)
+    | None ->
+        if List.memq a c.atoms then true (* syntactic subset fast path *)
+        else
+          Memo.cached implies_atom_memo implies_atom_tbl (c.id, Atom.id a) (fun () ->
+              List.for_all (fun na -> not (is_sat (add na c))) (Atom.negate a))
 
-let implies c d = List.for_all (implies_atom c) d
+let implies c d =
+  Solver_stats.count_implies_check ();
+  if c == d || d == tt then true
+  else if is_ff_syntactic c then true
+  else
+    Memo.cached implies_memo implies_tbl (c.id, d.id) (fun () ->
+        List.for_all (implies_atom c) d.atoms)
+
 let equiv c d = implies c d && implies d c
 
 let simplify c =
-  if not (is_sat c) then ff
+  if c == tt || is_ff_syntactic c then c
   else
-    (* drop atoms implied by the remaining ones; iterate front to back *)
-    let rec go acc = function
-      | [] -> List.rev acc
-      | a :: rest ->
-          let others = List.rev_append acc rest in
-          if implies_atom others a then go acc rest else go (a :: acc) rest
-    in
-    of_list (go [] c)
+    Memo.cached simplify_memo simplify_tbl c.id (fun () ->
+        if not (is_sat c) then ff
+        else
+          (* drop atoms implied by the remaining ones; iterate front to back *)
+          let rec go acc = function
+            | [] -> List.rev acc
+            | a :: rest ->
+                let others = of_list (List.rev_append acc rest) in
+                if implies_atom others a then go acc rest else go (a :: acc) rest
+          in
+          of_list (go [] c.atoms))
 
-let subst x repl c = of_list (List.map (Atom.subst x repl) c)
-let rename f c = of_list (List.map (Atom.rename f) c)
+let subst x repl c = of_list (List.map (Atom.subst x repl) c.atoms)
+let rename f c = of_list (List.map (Atom.rename f) c.atoms)
 
-let compare = List.compare Atom.compare
-let equal a b = compare a b = 0
+(* structural order on the canonical atom lists — stable across runs and
+   independent of interning order (which would vary with workload) *)
+let compare a b = if a == b then 0 else List.compare Atom.compare a.atoms b.atoms
+let equal a b = a == b
 
 let pp fmt c =
-  match c with
+  match c.atoms with
   | [] -> Format.pp_print_string fmt "true"
   | atoms ->
       if is_ff_syntactic c then Format.pp_print_string fmt "false"

@@ -9,7 +9,14 @@
 
     A conjunction is a sorted, duplicate-free list of atoms; trivially-true
     atoms are dropped and a detected contradiction is represented by the
-    single atom {!Atom.ff}. *)
+    single atom {!Atom.ff}.
+
+    Conjunctions are hash-consed: every canonical atom list is interned in a
+    weak table, so {!equal} is physical equality and {!id} is a unique
+    integer.  The decision procedures ({!is_sat}, {!implies},
+    {!implies_atom}, {!project}, {!simplify}) are memoized in id-keyed
+    caches registered with {!Memo}; raw call counts are recorded in
+    {!Solver_stats}. *)
 
 type t
 
@@ -36,6 +43,13 @@ val is_tt : t -> bool
 
 val size : t -> int
 val vars : t -> Var.Set.t
+
+val id : t -> int
+(** Unique interning id (never reused across the process lifetime); keys the
+    memoization caches. *)
+
+val hash : t -> int
+(** O(1) precomputed hash, consistent with {!equal}. *)
 
 (** {1 Decision procedures} *)
 
@@ -74,10 +88,13 @@ val rename : (Var.t -> Var.t) -> t -> t
 (** {1 Comparison and printing} *)
 
 val compare : t -> t -> int
+(** Structural order on the canonical atom lists — stable across runs,
+    independent of interning order. *)
+
 val equal : t -> t -> bool
-(** Structural equality of the canonical form (implies logical
-    equivalence of the atom sets, but two equivalent conjunctions may
-    differ structurally unless simplified). *)
+(** Physical equality, equivalent to structural equality of the canonical
+    form by interning (implies logical equivalence of the atom sets, but two
+    equivalent conjunctions may differ structurally unless simplified). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

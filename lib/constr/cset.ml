@@ -14,17 +14,21 @@ let is_tt cs = List.exists Conj.is_tt cs
 let num_disjuncts = List.length
 let vars cs = List.fold_left (fun acc d -> Var.Set.union acc (Conj.vars d)) Var.Set.empty cs
 
-(* prune disjuncts subsumed by another disjunct *)
+(* prune disjuncts subsumed by another disjunct; with zero or one disjunct
+   there is nothing to subsume, so skip the quadratic pass entirely *)
 let prune cs =
-  let rec go acc = function
-    | [] -> List.rev acc
-    | d :: rest ->
-        let subsumed_by d' = (not (Conj.equal d d')) && Conj.implies d d' in
-        if List.exists subsumed_by rest || List.exists subsumed_by acc then go acc rest
-        else go (d :: acc) rest
-  in
-  (* dedup first so identical disjuncts don't mutually subsume *)
-  go [] (List.sort_uniq Conj.compare cs)
+  match cs with
+  | [] | [ _ ] -> cs
+  | _ ->
+      let rec go acc = function
+        | [] -> List.rev acc
+        | d :: rest ->
+            let subsumed_by d' = (not (Conj.equal d d')) && Conj.implies d d' in
+            if List.exists subsumed_by rest || List.exists subsumed_by acc then go acc rest
+            else go (d :: acc) rest
+      in
+      (* dedup first so identical disjuncts don't mutually subsume *)
+      go [] (List.sort_uniq Conj.compare cs)
 
 let or_ a b = prune (of_disjuncts (a @ b))
 
@@ -38,25 +42,46 @@ let negate_conj d =
   of_disjuncts
     (List.concat_map (fun a -> List.map Conj.singleton (Atom.negate a)) (Conj.to_list d))
 
+let conj_implies_tbl : (int * int list, bool) Hashtbl.t = Hashtbl.create 1024
+
+let conj_implies_memo =
+  Memo.register ~name:"cset_conj_implies"
+    ~clear:(fun () -> Hashtbl.reset conj_implies_tbl)
+    ~size:(fun () -> Hashtbl.length conj_implies_tbl)
+
 let conj_implies d (cs : t) =
   (* d ⊨ cs  iff  d ∧ ¬E1 ∧ ... ∧ ¬Ek is unsatisfiable *)
-  if not (Conj.is_sat d) then true
+  Solver_stats.count_cset_implies_check ();
+  if List.memq d cs then true (* d is itself a disjunct *)
+  else if not (Conj.is_sat d) then true
   else
-    let residue =
-      List.fold_left
-        (fun residue e ->
-          if residue = [] then []
-          else
-            let neg = negate_conj e in
-            List.concat_map
-              (fun r -> List.filter Conj.is_sat (List.map (Conj.and_ r) neg))
-              residue)
-        [ d ] cs
-    in
-    residue = []
+    match cs with
+    | [] -> false (* d is satisfiable, cs denotes the empty set *)
+    | [ e ] -> Conj.implies d e
+    | _ ->
+        Memo.cached conj_implies_memo conj_implies_tbl
+          (Conj.id d, List.map Conj.id cs)
+          (fun () ->
+            let residue =
+              List.fold_left
+                (fun residue e ->
+                  if residue = [] then []
+                  else
+                    let neg = negate_conj e in
+                    List.concat_map
+                      (fun r -> List.filter Conj.is_sat (List.map (Conj.and_ r) neg))
+                      residue)
+                [ d ] cs
+            in
+            residue = [])
 
-let implies c1 c2 = List.for_all (fun d -> conj_implies d c2) c1
-let equiv a b = implies a b && implies b a
+(* interned disjuncts in canonical order: id-equal lists denote the same
+   set, so physical element-wise equality is a sound fast path *)
+let same_disjuncts (a : t) (b : t) =
+  a == b || (try List.for_all2 (fun x y -> Conj.equal x y) a b with Invalid_argument _ -> false)
+
+let implies c1 c2 = same_disjuncts c1 c2 || List.for_all (fun d -> conj_implies d c2) c1
+let equiv a b = same_disjuncts a b || (implies a b && implies b a)
 
 let project ~keep cs = of_disjuncts (List.map (Conj.project ~keep) cs)
 let rename f cs = of_disjuncts (List.map (Conj.rename f) cs)

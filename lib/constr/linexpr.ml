@@ -82,6 +82,11 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let hash e =
+  Var.Map.fold
+    (fun x c acc -> ((acc * 65599) lxor ((Var.id x * 31) + Rat.hash c)) land max_int)
+    e.coeffs (Rat.hash e.const)
+
 let pp fmt e =
   let open Format in
   let first = ref true in

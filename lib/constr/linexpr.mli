@@ -60,5 +60,10 @@ val integerize : t -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, consistent with {!equal} (used by the {!Atom} interning
+    table). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -1,0 +1,70 @@
+(* Global registry of the decision-procedure result caches.
+
+   Each cache is a plain Hashtbl keyed by hash-cons ids (never by the terms
+   themselves), so caches do not retain constraint terms and a cleared or
+   collected term can never alias a live entry: ids are allocated from a
+   monotonic counter and never reused. *)
+
+let enabled = ref true
+let max_entries = ref 65_536
+
+type table = {
+  name : string;
+  clear : unit -> unit;
+  size : unit -> int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let tables : table list ref = ref []
+
+let register ~name ~clear ~size =
+  let t = { name; clear; size; hits = 0; misses = 0 } in
+  tables := t :: !tables;
+  t
+
+let hit t = t.hits <- t.hits + 1
+let miss t = t.misses <- t.misses + 1
+
+type table_stats = { name : string; hits : int; misses : int; entries : int }
+
+let stats () =
+  List.rev_map
+    (fun (t : table) -> { name = t.name; hits = t.hits; misses = t.misses; entries = t.size () })
+    !tables
+
+let clear_all () = List.iter (fun t -> t.clear ()) !tables
+
+let reset_stats () =
+  List.iter
+    (fun (t : table) ->
+      t.hits <- 0;
+      t.misses <- 0)
+    !tables
+
+let cached t tbl key compute =
+  if not !enabled then compute ()
+  else
+    match Hashtbl.find_opt tbl key with
+    | Some v ->
+        hit t;
+        v
+    | None ->
+        miss t;
+        let v = compute () in
+        (* bounded: a full cache is dropped wholesale rather than evicted
+           entry-by-entry — the workloads are fixpoints that re-ask the same
+           questions, so a periodic cold restart costs little *)
+        if Hashtbl.length tbl >= !max_entries then Hashtbl.reset tbl;
+        Hashtbl.add tbl key v;
+        v
+
+let with_caches on f =
+  let prev = !enabled in
+  clear_all ();
+  enabled := on;
+  Fun.protect
+    ~finally:(fun () ->
+      enabled := prev;
+      clear_all ())
+    f

@@ -1,0 +1,48 @@
+(** Registry of the memoization caches used by the decision procedures
+    ({!Conj.is_sat}, {!Conj.implies}, {!Conj.project}, {!Cset.conj_implies}).
+
+    Caches are keyed by hash-cons ids ({!Conj.id} / {!Atom.id}), which are
+    allocated from a monotonic counter and never reused — so a stale entry
+    left behind by {!clear_all} or by the weak tables collecting a term can
+    never be observed by a later lookup.  Memoization caches {e results
+    only}; disabling them ({!enabled} := false, or {!with_caches}) changes
+    nothing but speed, and the fuzz harness's cache oracle checks exactly
+    that. *)
+
+val enabled : bool ref
+(** When [false], every cache is bypassed (no lookups, no insertions, no
+    hit/miss accounting).  Interning itself is always on — it is the term
+    representation, not an optimization that can drift. *)
+
+val max_entries : int ref
+(** Per-cache bound; a cache reaching it is dropped wholesale. *)
+
+type table
+(** Handle to one registered cache. *)
+
+val register : name:string -> clear:(unit -> unit) -> size:(unit -> int) -> table
+val hit : table -> unit
+val miss : table -> unit
+
+val cached : table -> ('k, 'v) Hashtbl.t -> 'k -> (unit -> 'v) -> 'v
+(** [cached t tbl key compute] looks [key] up in [tbl], computing and
+    storing on a miss; bypasses the table entirely when {!enabled} is
+    [false]. *)
+
+type table_stats = { name : string; hits : int; misses : int; entries : int }
+
+val stats : unit -> table_stats list
+(** Per-cache counters, in registration order. *)
+
+val clear_all : unit -> unit
+(** Drop every cache's entries (hit/miss counters survive).  Call between
+    independent workloads — e.g. the fuzz harness clears caches around each
+    cache-oracle run. *)
+
+val reset_stats : unit -> unit
+(** Zero every cache's hit/miss counters. *)
+
+val with_caches : bool -> (unit -> 'a) -> 'a
+(** [with_caches on f] runs [f] with caching forced on or off and a fresh
+    cache state on both entry and exit, restoring the previous {!enabled}
+    flag afterwards (exception-safe). *)

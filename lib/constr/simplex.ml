@@ -33,6 +33,7 @@ type tableau = {
    we only ever solve a full conjunction at once. *)
 
 let pivot_and_update t xb xn v =
+  Solver_stats.count_simplex_pivot ();
   let row_b = IntMap.find xb t.rows in
   let a = IntMap.find xn row_b in
   let theta = Qeps.scale (Rat.inv a) (Qeps.sub v t.beta.(xb)) in
@@ -224,6 +225,7 @@ let build (atoms : Atom.t list) =
   with Trivially_false -> None
 
 let solve c =
+  Solver_stats.count_simplex_run ();
   match build c with
   | None -> None
   | Some (t, var_ids) ->

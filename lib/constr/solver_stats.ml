@@ -1,0 +1,80 @@
+let sat_checks = ref 0
+let implies_checks = ref 0
+let implies_atom_checks = ref 0
+let cset_implies_checks = ref 0
+let project_calls = ref 0
+let simplex_runs = ref 0
+let simplex_pivots = ref 0
+let fm_eliminations = ref 0
+
+let count_sat_check () = incr sat_checks
+let count_implies_check () = incr implies_checks
+let count_implies_atom_check () = incr implies_atom_checks
+let count_cset_implies_check () = incr cset_implies_checks
+let count_project_call () = incr project_calls
+let count_simplex_run () = incr simplex_runs
+let count_simplex_pivot () = incr simplex_pivots
+let count_fm_elimination () = incr fm_eliminations
+
+type t = {
+  sat_checks : int;
+  implies_checks : int;
+  implies_atom_checks : int;
+  cset_implies_checks : int;
+  project_calls : int;
+  simplex_runs : int;
+  simplex_pivots : int;
+  fm_eliminations : int;
+  caches : Memo.table_stats list;
+}
+
+let reset () =
+  sat_checks := 0;
+  implies_checks := 0;
+  implies_atom_checks := 0;
+  cset_implies_checks := 0;
+  project_calls := 0;
+  simplex_runs := 0;
+  simplex_pivots := 0;
+  fm_eliminations := 0;
+  Memo.reset_stats ()
+
+let snapshot () =
+  {
+    sat_checks = !sat_checks;
+    implies_checks = !implies_checks;
+    implies_atom_checks = !implies_atom_checks;
+    cset_implies_checks = !cset_implies_checks;
+    project_calls = !project_calls;
+    simplex_runs = !simplex_runs;
+    simplex_pivots = !simplex_pivots;
+    fm_eliminations = !fm_eliminations;
+    caches = Memo.stats ();
+  }
+
+let total_hits s =
+  List.fold_left (fun acc (c : Memo.table_stats) -> acc + c.Memo.hits) 0 s.caches
+
+let total_misses s =
+  List.fold_left (fun acc (c : Memo.table_stats) -> acc + c.Memo.misses) 0 s.caches
+
+let hit_rate s =
+  let h = total_hits s and m = total_misses s in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let pp fmt s =
+  Format.fprintf fmt
+    "solver: sat_checks=%d implies=%d implies_atom=%d cset_implies=%d project=%d@\n"
+    s.sat_checks s.implies_checks s.implies_atom_checks s.cset_implies_checks s.project_calls;
+  Format.fprintf fmt "solver: simplex_runs=%d simplex_pivots=%d fm_eliminations=%d@\n"
+    s.simplex_runs s.simplex_pivots s.fm_eliminations;
+  List.iter
+    (fun (c : Memo.table_stats) ->
+      let total = c.Memo.hits + c.Memo.misses in
+      Format.fprintf fmt "cache : %-16s hits=%-8d misses=%-8d entries=%-7d hit_rate=%.3f@\n"
+        c.Memo.name c.Memo.hits c.Memo.misses c.Memo.entries
+        (if total = 0 then 0.0 else float_of_int c.Memo.hits /. float_of_int total))
+    s.caches;
+  Format.fprintf fmt "cache : overall hit_rate=%.3f (%d hits / %d lookups)@\n" (hit_rate s)
+    (total_hits s)
+    (total_hits s + total_misses s)

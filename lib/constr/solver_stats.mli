@@ -1,0 +1,50 @@
+(** Observability counters for the constraint decision procedures.
+
+    Raw counters record every entry into a decision procedure regardless of
+    caching (so cache-on and cache-off runs of the same workload report the
+    same [*_checks] numbers), while {!Memo} contributes per-cache hit/miss
+    statistics at {!snapshot} time.  Counters are process-global; {!reset}
+    before a workload to attribute numbers to it. *)
+
+(** {1 Increment hooks (used by [Conj], [Cset] and [Simplex])} *)
+
+val count_sat_check : unit -> unit
+val count_implies_check : unit -> unit
+val count_implies_atom_check : unit -> unit
+val count_cset_implies_check : unit -> unit
+val count_project_call : unit -> unit
+
+val count_simplex_run : unit -> unit
+(** One complete simplex solve (a cache miss of {!Conj.is_sat}, or a direct
+    {!Simplex.is_sat} call). *)
+
+val count_simplex_pivot : unit -> unit
+val count_fm_elimination : unit -> unit
+(** One Fourier–Motzkin variable elimination (the inequality-combination
+    branch of {!Conj.eliminate}; equality substitutions are not counted). *)
+
+(** {1 Snapshots} *)
+
+type t = {
+  sat_checks : int;  (** {!Conj.is_sat} entries *)
+  implies_checks : int;  (** {!Conj.implies} entries *)
+  implies_atom_checks : int;  (** {!Conj.implies_atom} entries *)
+  cset_implies_checks : int;  (** {!Cset.conj_implies} entries *)
+  project_calls : int;  (** {!Conj.project} entries *)
+  simplex_runs : int;
+  simplex_pivots : int;
+  fm_eliminations : int;
+  caches : Memo.table_stats list;
+}
+
+val reset : unit -> unit
+(** Zero the raw counters and every cache's hit/miss counters. *)
+
+val snapshot : unit -> t
+val total_hits : t -> int
+val total_misses : t -> int
+
+val hit_rate : t -> float
+(** Hits over lookups across all caches; [0.0] when nothing was looked up. *)
+
+val pp : Format.formatter -> t -> unit

@@ -11,7 +11,7 @@ module Decidable = Cql_core.Decidable
 module Adorn = Cql_core.Adorn
 module Gmt = Cql_core.Gmt
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache
 
 let oracle_name = function
   | Answers -> "answers"
@@ -19,6 +19,7 @@ let oracle_name = function
   | Solver -> "solver"
   | Monotone -> "monotone"
   | Bound -> "bound"
+  | Cache -> "cache"
 
 let oracle_of_name = function
   | "answers" -> Answers
@@ -26,6 +27,7 @@ let oracle_of_name = function
   | "solver" -> Solver
   | "monotone" -> Monotone
   | "bound" -> Bound
+  | "cache" -> Cache
   | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
 
 type failure = {
@@ -87,6 +89,43 @@ let rec root_name orig name =
 let fm_sat c = Conj.is_tt (Conj.project ~keep:Var.Set.empty c)
 
 let simplex_sat c = Simplex.is_sat (Conj.to_list c)
+
+(* ----- the memoization differential (oracle 6) ----- *)
+
+(* Run the heaviest rewrite (the pred/qrp constraint_rewrite fixpoint) and an
+   evaluation of its output twice — decision-procedure caches enabled and
+   disabled, each from a fresh cache state — and require a bit-identical
+   rewritten program and identical answers.  Memoization may only ever
+   change speed, never a result. *)
+let check_cache_differential ~max_iterations ~max_derivations ~max_iters st p edb =
+  let run_with on =
+    Memo.with_caches on (fun () ->
+        match Rw.constraint_rewrite ~max_iters p with
+        | exception (Invalid_argument _ | Failure _) -> None
+        | p', _ ->
+            let res = Engine.run ~max_iterations ~max_derivations p' ~edb in
+            Some
+              ( p',
+                List.sort F.compare (Engine.answers res p'),
+                (Engine.stats res).Engine.reached_fixpoint ))
+  in
+  match (run_with true, run_with false) with
+  | None, None -> None
+  | Some (p1, a1, f1), Some (p2, a2, f2) ->
+      (* modulo renaming: the rewrite draws fresh variables from a global
+         counter, so the two runs produce alpha-equivalent programs *)
+      if not (Program.equal_mod_renaming p1 p2) then
+        Some
+          (Printf.sprintf
+             "constraint_rewrite output differs with caches on vs off:\n--- on ---\n%s\n--- off ---\n%s"
+             (Program.to_string p1) (Program.to_string p2))
+      else if f1 <> f2 || not (List.equal F.equal a1 a2) then
+        Some "evaluation answers differ with caches on vs off"
+      else begin
+        st.checks <- st.checks + 1;
+        None
+      end
+  | _ -> Some "constraint_rewrite applicability differs with caches on vs off"
 
 (* ----- pipelines ----- *)
 
@@ -258,6 +297,11 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
         match bound_failure with
         | Some detail -> fail Bound "analyze" detail
         | None -> (
+            match
+              check_cache_differential ~max_iterations ~max_derivations ~max_iters st p edb
+            with
+            | Some detail -> fail Cache "constraint_rewrite" detail
+            | None -> (
             let orig_preds = Program.predicates p in
             let orig_facts pred = Engine.facts_of res0 pred in
             let answers0 = Engine.answers res0 p in
@@ -351,7 +395,7 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             | None -> (
                 match check_solver_pool st !solver_pool with
                 | Some detail -> fail Solver "solver" detail
-                | None -> None)))
+                | None -> None))))
   end
 
 (* ----- shrinking ----- *)

@@ -1,7 +1,7 @@
 (** Differential fuzzing harness: run generated (program, query, EDB) cases
     through every rewrite pipeline and check the equivalence oracles.
 
-    Five oracles guard the paper's claims:
+    Six oracles guard the paper's claims and the implementation:
 
     + {b Answers} — query-answer equivalence: the rewritten program computes
       exactly the original's query answers (Theorems 4.7/4.8, 6.2, 7.10),
@@ -19,6 +19,10 @@
       supplementary predicates are new and exempt).
     + {b Bound} — on decidable-class inputs (Theorem 5.1) the
       constraint-generation fixpoints converge within the iteration bound.
+    + {b Cache} — the decision-procedure memoization caches ({!Cql_constr.Memo})
+      never change a result: the [constraint_rewrite] output and the answers
+      of its evaluation are identical with caches enabled and disabled, each
+      run starting from a fresh cache state.
 
     On failure the harness shrinks the case — dropping rules, EDB facts,
     body literals and constraint atoms while the failure persists and the
@@ -29,7 +33,7 @@
 open Cql_constr
 open Cql_datalog
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache
 
 val oracle_name : oracle -> string
 

@@ -143,18 +143,19 @@ let all_pinned f =
 
 let subsumes general specific =
   same_pattern general specific
-  &&
-  if all_pinned specific then
-    (* evaluate the general constraint at the specific point: no solver *)
-    let env v =
-      match Var.arg_index v with
-      | Some i when i >= 1 && i <= Array.length specific.pinned -> specific.pinned.(i - 1)
-      | _ -> None
-    in
-    match Conj.eval_at env general.cstr with
-    | Some b -> b
-    | None -> Conj.implies specific.cstr general.cstr
-  else Conj.implies specific.cstr general.cstr
+  && (general.cstr == specific.cstr (* interned: identical constraints *)
+     ||
+     if all_pinned specific then
+       (* evaluate the general constraint at the specific point: no solver *)
+       let env v =
+         match Var.arg_index v with
+         | Some i when i >= 1 && i <= Array.length specific.pinned -> specific.pinned.(i - 1)
+         | _ -> None
+       in
+       match Conj.eval_at env general.cstr with
+       | Some b -> b
+       | None -> Conj.implies specific.cstr general.cstr
+     else Conj.implies specific.cstr general.cstr)
 
 let compare a b =
   let c = String.compare a.pred b.pred in

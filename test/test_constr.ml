@@ -544,6 +544,72 @@ let prop_negate_conj_complement =
     (QCheck.make QCheck.Gen.(pair conj_gen point_gen)) (fun (c, env) ->
       eval_cset env (Cset.negate_conj c) = not (eval_conj env c))
 
+(* ----- hash-consing and memoization ----- *)
+
+let test_hashcons_interning () =
+  (* equal atoms are the same node *)
+  check_bool "atoms interned" true (Atom.le vx (n 4) == Atom.le vx (n 4));
+  check_bool "atom ids equal" true (Atom.id (Atom.le vx (n 4)) = Atom.id (Atom.le vx (n 4)));
+  (* conjunctions canonicalize (sort + dedup) before interning, so atom
+     order and duplicates don't matter *)
+  let a = Atom.le vx (n 4) and b = Atom.lt vy vx in
+  let c1 = Conj.of_list [ a; b ] and c2 = Conj.of_list [ b; a; b ] in
+  check_bool "conjs interned" true (c1 == c2);
+  check_int "conj ids equal" (Conj.id c1) (Conj.id c2);
+  check_bool "distinct conjs distinct" false (c1 == Conj.of_list [ a ]);
+  (* interning makes structural equality physical *)
+  check_bool "equal is physical" true (Conj.equal c1 c2)
+
+let total_entries () =
+  List.fold_left (fun acc (s : Memo.table_stats) -> acc + s.Memo.entries) 0 (Memo.stats ())
+
+let test_memo_hit_counting () =
+  Memo.clear_all ();
+  Solver_stats.reset ();
+  let c = Conj.of_list [ Atom.le vx (n 2); Atom.le vy vx ] in
+  let d = Conj.of_list [ Atom.le vx (n 5) ] in
+  check_bool "implies holds" true (Conj.implies c d);
+  let s1 = Solver_stats.snapshot () in
+  check_bool "first query misses" true (Solver_stats.total_misses s1 > 0);
+  check_bool "implies holds again" true (Conj.implies c d);
+  let s2 = Solver_stats.snapshot () in
+  check_bool "repeat is a cache hit" true
+    (Solver_stats.total_hits s2 > Solver_stats.total_hits s1);
+  check_int "repeat adds no misses" (Solver_stats.total_misses s1)
+    (Solver_stats.total_misses s2);
+  check_int "raw counter sees both entries" 2 s2.Solver_stats.implies_checks;
+  check_bool "hit rate nonzero" true (Solver_stats.hit_rate s2 > 0.0)
+
+let test_memo_clear_all () =
+  Memo.clear_all ();
+  Solver_stats.reset ();
+  let c = Conj.of_list [ Atom.le vx (n 2); Atom.le vy vx ] in
+  let d = Conj.of_list [ Atom.le vx (n 5) ] in
+  ignore (Conj.implies c d);
+  check_bool "entries cached" true (total_entries () > 0);
+  Memo.clear_all ();
+  check_int "clear_all drops every entry" 0 (total_entries ());
+  let misses_before = Solver_stats.total_misses (Solver_stats.snapshot ()) in
+  ignore (Conj.implies c d);
+  check_bool "recompute after clear is a miss" true
+    (Solver_stats.total_misses (Solver_stats.snapshot ()) > misses_before)
+
+let test_memo_with_caches_off () =
+  let c = Conj.of_list [ Atom.le vx (n 2); Atom.le vy vx ] in
+  let d = Conj.of_list [ Atom.le vx (n 5) ] in
+  let unsat = Conj.of_list [ Atom.le vx (n 0); Atom.le (n 1) vx ] in
+  let cached = (Conj.implies c d, Conj.is_sat unsat, Conj.is_sat c) in
+  let uncached =
+    Memo.with_caches false (fun () ->
+        check_int "fresh state on entry" 0 (total_entries ());
+        let r = (Conj.implies c d, Conj.is_sat unsat, Conj.is_sat c) in
+        check_int "disabled caches stay empty" 0 (total_entries ());
+        r)
+  in
+  check_bool "caches change nothing but speed" true (cached = uncached);
+  check_bool "enabled restored" true !Memo.enabled;
+  check_int "fresh state on exit" 0 (total_entries ())
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "constr"
@@ -582,6 +648,13 @@ let () =
         [
           Alcotest.test_case "units" `Quick test_simplex_units;
           Alcotest.test_case "qeps ordering" `Quick test_qeps_order;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hash-consing interns" `Quick test_hashcons_interning;
+          Alcotest.test_case "hit counting" `Quick test_memo_hit_counting;
+          Alcotest.test_case "clear_all" `Quick test_memo_clear_all;
+          Alcotest.test_case "with_caches off" `Quick test_memo_with_caches_off;
         ] );
       ( "extra",
         [
