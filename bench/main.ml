@@ -566,6 +566,55 @@ let run_fuzz () =
       Format.printf "%a" H.pp_summary s)
     (fuzz_summaries ())
 
+(* ----- parallel evaluation (domain pool) ----- *)
+
+(* the flights-P workload of the timing suite at 10 cities: recursive joins
+   over a growing flight relation, enough match work per iteration for the
+   pool fan-out to matter on multicore hardware *)
+let parallel_workload jobs =
+  let p = parse flights_src in
+  let edb = singleleg_edb 110 10 in
+  Engine.run ~jobs ~max_iterations:6 ~max_derivations:4000 p ~edb
+
+(* best-of-[reps] wall time: minimum filters out GC / scheduler noise *)
+let time_best reps f =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    last := Some r;
+    if dt < !best then best := dt
+  done;
+  (!best, Option.get !last)
+
+let parallel_reps = 3
+
+let parallel_rows () =
+  let baseline = ref 0.0 in
+  let seq_derivs = ref 0 in
+  List.map
+    (fun jobs ->
+      let secs, res = time_best parallel_reps (fun () -> parallel_workload jobs) in
+      if jobs = 1 then begin
+        baseline := secs;
+        seq_derivs := (Engine.stats res).Engine.derivations
+      end;
+      let speedup = if secs > 0.0 then !baseline /. secs else 0.0 in
+      (jobs, secs, speedup, (Engine.stats res).Engine.derivations = !seq_derivs))
+    [ 1; 2; 4 ]
+
+let run_parallel () =
+  header "PARALLEL: domain-pool semi-naive evaluation (flights-P, 10 cities)";
+  paper "(no paper counterpart -- implementation scaling)";
+  Printf.printf "  recommended domains on this machine: %d\n" (Cql_par.Pool.recommended_jobs ());
+  List.iter
+    (fun (jobs, secs, speedup, same) ->
+      Printf.printf "  jobs=%d  wall=%8.3f ms  speedup=%.2fx  derivations_match_jobs1=%b\n" jobs
+        (secs *. 1000.) speedup same)
+    (parallel_rows ())
+
 (* ----- Bechamel timings ----- *)
 
 let timing_tests () =
@@ -860,6 +909,30 @@ let json_solver_cache () =
         ignore (H.run ~config:(G.default G.Decidable) ~seed:fuzz_seed ~count:50 ()));
   ]
 
+(* per-jobs wall time and speedup on the flights-P workload; [cores] records
+   how many domains the runtime recommends on the measuring machine (on a
+   single-core box every speedup is necessarily ~1.0) *)
+let json_parallel () =
+  let rows = parallel_rows () in
+  Obj
+    [
+      ("workload", Str "flights-P (10 cities, capped at 6 iterations / 4000 derivations)");
+      ("cores", jint (Cql_par.Pool.recommended_jobs ()));
+      ("reps", jint parallel_reps);
+      ( "runs",
+        List
+          (List.map
+             (fun (jobs, secs, speedup, same) ->
+               Obj
+                 [
+                   ("jobs", jint jobs);
+                   ("wall_seconds", Raw (Printf.sprintf "%.6f" secs));
+                   ("speedup_vs_jobs1", jfloat speedup);
+                   ("derivations_match_jobs1", jbool same);
+                 ])
+             rows) );
+    ]
+
 let run_json () =
   let timings =
     List.map
@@ -885,6 +958,7 @@ let run_json () =
               ("fib_backward", json_fib ());
               ("fuzz", List (json_fuzz ()));
               ("solver_cache", Obj (json_solver_cache ()));
+              ("parallel", json_parallel ());
             ] );
         ("timings", List timings);
       ]
@@ -918,6 +992,7 @@ let experiments =
     ("ablation-stratified", run_ablation_stratified);
     ("bound", run_bound);
     ("fuzz", run_fuzz);
+    ("parallel", run_parallel);
     ("time", run_timings);
     ("json", run_json);
   ]

@@ -49,6 +49,19 @@ let solver_stats_arg =
          ~doc:"After the run, print decision-procedure call counts and \
                memoization cache hit rates to stderr")
 
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domains used by the evaluation engine (1 = exact sequential \
+               path; 0 = auto: \\$CQLOPT_JOBS if set, else the runtime's \
+               recommended domain count)")
+
+(* [--jobs 0] (the default) defers to CQLOPT_JOBS when set — that is how CI
+   exercises both paths — and otherwise asks the runtime *)
+let apply_jobs n =
+  if n > 0 then Cql_eval.Engine.set_default_jobs n
+  else if Sys.getenv_opt "CQLOPT_JOBS" = None then
+    Cql_eval.Engine.set_default_jobs (Cql_par.Pool.recommended_jobs ())
+
 let print_solver_stats flag =
   if flag then
     Format.eprintf "%a@?" Cql_constr.Solver_stats.pp (Cql_constr.Solver_stats.snapshot ())
@@ -112,7 +125,8 @@ let parse_steps adornment constraint_magic s =
 
 let rewrite_cmd =
   let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
-      solver_stats =
+      solver_stats jobs =
+    apply_jobs jobs;
     let code =
     match read_program path with
     | Error msg ->
@@ -178,7 +192,7 @@ let rewrite_cmd =
   in
   let term =
     Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
-          $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg)
+          $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a program by pushing constraint selections") term
 
@@ -186,7 +200,8 @@ let rewrite_cmd =
 
 let eval_cmd =
   let run path edb_path max_iterations max_derivations traced naive explain stratified
-      solver_stats =
+      solver_stats jobs =
+    apply_jobs jobs;
     let code =
     match read_program path with
     | Error msg ->
@@ -230,7 +245,9 @@ let eval_cmd =
                       match Cql_eval.Explain.tree res f with
                       | Some t -> print_string (Cql_eval.Explain.to_string t)
                       | None -> ())
-                  (Cql_eval.Engine.facts_of res q)
+                  (* sorted (predicate, then canonical fact order) so output
+                     diffs cleanly across jobs settings and runs *)
+                  (List.sort Cql_eval.Fact.compare (Cql_eval.Engine.facts_of res q))
             | None -> ());
             0)
     in
@@ -258,7 +275,7 @@ let eval_cmd =
   in
   let term =
     Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
-          $ explain $ stratified $ solver_stats_arg)
+          $ explain $ stratified $ solver_stats_arg $ jobs_arg)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
@@ -267,7 +284,8 @@ let eval_cmd =
 let fuzz_cmd =
   let module H = Cql_gen.Harness in
   let module G = Cql_gen.Generate in
-  let run seed count mode inject_bug replay out solver_stats =
+  let run seed count mode inject_bug replay out solver_stats jobs =
+    apply_jobs jobs;
     let code =
     match replay with
     | Some path -> (
@@ -346,7 +364,8 @@ let fuzz_cmd =
            ~doc:"Where to write the shrunk counterexample on failure")
   in
   let term =
-    Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg)
+    Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg
+          $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"

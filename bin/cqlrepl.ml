@@ -50,7 +50,9 @@ let eval_query st (lits, cstr) =
         Cql_eval.Engine.run ~max_iterations:st.max_iterations
           ~max_derivations:st.max_derivations p ~edb:[]
       in
-      let answers = Cql_eval.Engine.facts_of res q in
+      (* deterministic order (predicate, then canonical fact compare) so
+         output diffs cleanly regardless of derivation interleaving *)
+      let answers = List.sort Cql_eval.Fact.compare (Cql_eval.Engine.facts_of res q) in
       let stats = Cql_eval.Engine.stats res in
       if answers = [] then
         Printf.printf "no%s\n"

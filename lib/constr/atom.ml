@@ -13,22 +13,34 @@ module WT = Weak.Make (struct
   let hash a = a.hash
 end)
 
-let table = WT.create 1024
-let counter = ref 0
+(* The weak hashset is striped by hash so worker domains interning in
+   parallel rarely contend; ids come from one atomic counter, so they stay
+   globally unique and monotonic regardless of which stripe allocates. *)
+let stripes = 16 (* power of two: stripe index is a mask of the hash *)
+let tables = Array.init stripes (fun _ -> WT.create 256)
+let locks = Array.init stripes (fun _ -> Mutex.create ())
+let counter = Atomic.make 0
 
 let struct_hash e op =
   let tag = match op with Le -> 3 | Lt -> 5 | Eq -> 7 in
   ((Linexpr.hash e * 31) + tag) land max_int
 
 let intern e op =
-  let probe = { expr = e; op; id = -1; hash = struct_hash e op } in
-  match WT.find_opt table probe with
-  | Some a -> a
-  | None ->
-      incr counter;
-      let a = { probe with id = !counter } in
-      WT.add table a;
-      a
+  let h = struct_hash e op in
+  let probe = { expr = e; op; id = -1; hash = h } in
+  let i = h land (stripes - 1) in
+  let m = locks.(i) in
+  Mutex.lock m;
+  let a =
+    match WT.find_opt tables.(i) probe with
+    | Some a -> a
+    | None ->
+        let a = { probe with id = Atomic.fetch_and_add counter 1 + 1 } in
+        WT.add tables.(i) a;
+        a
+  in
+  Mutex.unlock m;
+  a
 
 let make e op =
   let e = Linexpr.integerize e in

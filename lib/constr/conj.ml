@@ -16,19 +16,30 @@ module WT = Weak.Make (struct
   let hash c = c.hash
 end)
 
-let table = WT.create 4096
-let counter = ref 0
+(* The weak hashset is striped by hash so worker domains interning in
+   parallel rarely contend; ids come from one atomic counter, so they stay
+   globally unique and monotonic regardless of which stripe allocates. *)
+let stripes = 16 (* power of two: stripe index is a mask of the hash *)
+let tables = Array.init stripes (fun _ -> WT.create 512)
+let locks = Array.init stripes (fun _ -> Mutex.create ())
+let counter = Atomic.make 0
 
 let intern atoms =
   let h = List.fold_left (fun acc a -> ((acc * 65599) lxor Atom.id a) land max_int) 17 atoms in
   let probe = { atoms; id = -1; hash = h } in
-  match WT.find_opt table probe with
-  | Some c -> c
-  | None ->
-      incr counter;
-      let c = { probe with id = !counter } in
-      WT.add table c;
-      c
+  let i = h land (stripes - 1) in
+  let m = locks.(i) in
+  Mutex.lock m;
+  let c =
+    match WT.find_opt tables.(i) probe with
+    | Some c -> c
+    | None ->
+        let c = { probe with id = Atomic.fetch_and_add counter 1 + 1 } in
+        WT.add tables.(i) c;
+        c
+  in
+  Mutex.unlock m;
+  c
 
 let tt : t = intern []
 let ff : t = intern [ Atom.ff ]
@@ -73,40 +84,11 @@ let hash c = c.hash
 
 (* ----- caches ----- *)
 
-let sat_tbl : (int, bool) Hashtbl.t = Hashtbl.create 4096
-
-let sat_memo =
-  Memo.register ~name:"conj_is_sat"
-    ~clear:(fun () -> Hashtbl.reset sat_tbl)
-    ~size:(fun () -> Hashtbl.length sat_tbl)
-
-let implies_atom_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
-
-let implies_atom_memo =
-  Memo.register ~name:"conj_implies_atom"
-    ~clear:(fun () -> Hashtbl.reset implies_atom_tbl)
-    ~size:(fun () -> Hashtbl.length implies_atom_tbl)
-
-let implies_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 4096
-
-let implies_memo =
-  Memo.register ~name:"conj_implies"
-    ~clear:(fun () -> Hashtbl.reset implies_tbl)
-    ~size:(fun () -> Hashtbl.length implies_tbl)
-
-let project_tbl : (int * int list, t) Hashtbl.t = Hashtbl.create 1024
-
-let project_memo =
-  Memo.register ~name:"conj_project"
-    ~clear:(fun () -> Hashtbl.reset project_tbl)
-    ~size:(fun () -> Hashtbl.length project_tbl)
-
-let simplify_tbl : (int, t) Hashtbl.t = Hashtbl.create 1024
-
-let simplify_memo =
-  Memo.register ~name:"conj_simplify"
-    ~clear:(fun () -> Hashtbl.reset simplify_tbl)
-    ~size:(fun () -> Hashtbl.length simplify_tbl)
+let sat_memo : (int, bool) Memo.cache = Memo.create ~name:"conj_is_sat"
+let implies_atom_memo : (int * int, bool) Memo.cache = Memo.create ~name:"conj_implies_atom"
+let implies_memo : (int * int, bool) Memo.cache = Memo.create ~name:"conj_implies"
+let project_memo : (int * int list, t) Memo.cache = Memo.create ~name:"conj_project"
+let simplify_memo : (int, t) Memo.cache = Memo.create ~name:"conj_simplify"
 
 (* ----- variable elimination ----- *)
 
@@ -210,7 +192,7 @@ let project ~keep (c : t) : t =
     else
       (* the result depends only on keep ∩ vars c, so canonicalize the key *)
       let key = (c.id, List.map Var.id (Var.Set.elements (Var.Set.inter keep cvars))) in
-      Memo.cached project_memo project_tbl key (fun () -> project_uncached ~keep c)
+      Memo.cached project_memo key (fun () -> project_uncached ~keep c)
 
 (* satisfiability via the simplex backend (cross-checked against full
    Fourier-Motzkin elimination by the property tests); projection remains
@@ -219,7 +201,7 @@ let is_sat c =
   Solver_stats.count_sat_check ();
   if is_ff_syntactic c then false
   else if c == tt then true
-  else Memo.cached sat_memo sat_tbl c.id (fun () -> Simplex.is_sat c.atoms)
+  else Memo.cached sat_memo c.id (fun () -> Simplex.is_sat c.atoms)
 
 let eval_at env c =
   let rec go = function
@@ -241,7 +223,7 @@ let implies_atom c a =
     | None ->
         if List.memq a c.atoms then true (* syntactic subset fast path *)
         else
-          Memo.cached implies_atom_memo implies_atom_tbl (c.id, Atom.id a) (fun () ->
+          Memo.cached implies_atom_memo (c.id, Atom.id a) (fun () ->
               List.for_all (fun na -> not (is_sat (add na c))) (Atom.negate a))
 
 let implies c d =
@@ -249,7 +231,7 @@ let implies c d =
   if c == d || d == tt then true
   else if is_ff_syntactic c then true
   else
-    Memo.cached implies_memo implies_tbl (c.id, d.id) (fun () ->
+    Memo.cached implies_memo (c.id, d.id) (fun () ->
         List.for_all (implies_atom c) d.atoms)
 
 let equiv c d = implies c d && implies d c
@@ -257,7 +239,7 @@ let equiv c d = implies c d && implies d c
 let simplify c =
   if c == tt || is_ff_syntactic c then c
   else
-    Memo.cached simplify_memo simplify_tbl c.id (fun () ->
+    Memo.cached simplify_memo c.id (fun () ->
         if not (is_sat c) then ff
         else
           (* drop atoms implied by the remaining ones; iterate front to back *)

@@ -42,12 +42,7 @@ let negate_conj d =
   of_disjuncts
     (List.concat_map (fun a -> List.map Conj.singleton (Atom.negate a)) (Conj.to_list d))
 
-let conj_implies_tbl : (int * int list, bool) Hashtbl.t = Hashtbl.create 1024
-
-let conj_implies_memo =
-  Memo.register ~name:"cset_conj_implies"
-    ~clear:(fun () -> Hashtbl.reset conj_implies_tbl)
-    ~size:(fun () -> Hashtbl.length conj_implies_tbl)
+let conj_implies_memo : (int * int list, bool) Memo.cache = Memo.create ~name:"cset_conj_implies"
 
 let conj_implies d (cs : t) =
   (* d ⊨ cs  iff  d ∧ ¬E1 ∧ ... ∧ ¬Ek is unsatisfiable *)
@@ -59,7 +54,7 @@ let conj_implies d (cs : t) =
     | [] -> false (* d is satisfiable, cs denotes the empty set *)
     | [ e ] -> Conj.implies d e
     | _ ->
-        Memo.cached conj_implies_memo conj_implies_tbl
+        Memo.cached conj_implies_memo
           (Conj.id d, List.map Conj.id cs)
           (fun () ->
             let residue =

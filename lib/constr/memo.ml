@@ -1,56 +1,80 @@
 (* Global registry of the decision-procedure result caches.
 
-   Each cache is a plain Hashtbl keyed by hash-cons ids (never by the terms
-   themselves), so caches do not retain constraint terms and a cleared or
-   collected term can never alias a live entry: ids are allocated from a
-   monotonic counter and never reused. *)
+   Each cache is keyed by hash-cons ids (never by the terms themselves), so
+   caches do not retain constraint terms and a cleared or collected term can
+   never alias a live entry: ids are allocated from a monotonic counter and
+   never reused.
+
+   Storage is per-domain ([Domain.DLS]): every domain lazily materializes
+   its own Hashtbl for each cache, so lookups and insertions during a
+   parallel evaluation round need no locking and never observe a torn
+   table.  [clear_all] bumps a per-cache epoch; a domain whose local table
+   is from an older epoch drops it on its next access.  Hit/miss counters
+   are [Atomic.t] and therefore aggregate exactly across domains, while
+   [entries] in {!stats} reports the calling domain's table only. *)
 
 let enabled = ref true
 let max_entries = ref 65_536
 
-type table = {
+type entry = {
   name : string;
   clear : unit -> unit;
   size : unit -> int;
-  mutable hits : int;
-  mutable misses : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
 }
 
-let tables : table list ref = ref []
+type ('k, 'v) cache = {
+  e : entry;
+  epoch : int Atomic.t;
+  slot : (int ref * ('k, 'v) Hashtbl.t) Domain.DLS.key;
+}
 
-let register ~name ~clear ~size =
-  let t = { name; clear; size; hits = 0; misses = 0 } in
-  tables := t :: !tables;
-  t
+let tables : entry list ref = ref []
 
-let hit t = t.hits <- t.hits + 1
-let miss t = t.misses <- t.misses + 1
+(* Fetch the calling domain's table, dropping it first if a [clear_all]
+   has bumped the epoch since this domain last looked. *)
+let local_table c =
+  let seen, tbl = Domain.DLS.get c.slot in
+  let now = Atomic.get c.epoch in
+  if !seen <> now then begin
+    Hashtbl.reset tbl;
+    seen := now
+  end;
+  tbl
 
-type table_stats = { name : string; hits : int; misses : int; entries : int }
+let create ~name =
+  let epoch = Atomic.make 0 in
+  let slot = Domain.DLS.new_key (fun () -> (ref (Atomic.get epoch), Hashtbl.create 1024)) in
+  let rec c = { e; epoch; slot }
+  and e =
+    {
+      name;
+      (* bumping the epoch invalidates every domain's table lazily; resetting
+         the caller's own table eagerly keeps [stats] coherent right after a
+         clear *)
+      clear =
+        (fun () ->
+          Atomic.incr epoch;
+          ignore (local_table c));
+      size = (fun () -> Hashtbl.length (local_table c));
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+    }
+  in
+  tables := e :: !tables;
+  c
 
-let stats () =
-  List.rev_map
-    (fun (t : table) -> { name = t.name; hits = t.hits; misses = t.misses; entries = t.size () })
-    !tables
-
-let clear_all () = List.iter (fun t -> t.clear ()) !tables
-
-let reset_stats () =
-  List.iter
-    (fun (t : table) ->
-      t.hits <- 0;
-      t.misses <- 0)
-    !tables
-
-let cached t tbl key compute =
+let cached c key compute =
   if not !enabled then compute ()
   else
+    let tbl = local_table c in
     match Hashtbl.find_opt tbl key with
     | Some v ->
-        hit t;
+        Atomic.incr c.e.hits;
         v
     | None ->
-        miss t;
+        Atomic.incr c.e.misses;
         let v = compute () in
         (* bounded: a full cache is dropped wholesale rather than evicted
            entry-by-entry — the workloads are fixpoints that re-ask the same
@@ -58,6 +82,27 @@ let cached t tbl key compute =
         if Hashtbl.length tbl >= !max_entries then Hashtbl.reset tbl;
         Hashtbl.add tbl key v;
         v
+
+type table_stats = { name : string; hits : int; misses : int; entries : int }
+
+let stats () =
+  List.rev_map
+    (fun (e : entry) ->
+      { name = e.name; hits = Atomic.get e.hits; misses = Atomic.get e.misses; entries = e.size () })
+    !tables
+
+let hit_rate (s : table_stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let clear_all () = List.iter (fun (e : entry) -> e.clear ()) !tables
+
+let reset_stats () =
+  List.iter
+    (fun (e : entry) ->
+      Atomic.set e.hits 0;
+      Atomic.set e.misses 0)
+    !tables
 
 let with_caches on f =
   let prev = !enabled in

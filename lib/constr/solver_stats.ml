@@ -1,20 +1,24 @@
-let sat_checks = ref 0
-let implies_checks = ref 0
-let implies_atom_checks = ref 0
-let cset_implies_checks = ref 0
-let project_calls = ref 0
-let simplex_runs = ref 0
-let simplex_pivots = ref 0
-let fm_eliminations = ref 0
+(* Counters are [Atomic.t] so concurrent decision-procedure calls from
+   worker domains during a parallel evaluation round count exactly; the
+   sequential cost is one fetch-and-add per counted event. *)
 
-let count_sat_check () = incr sat_checks
-let count_implies_check () = incr implies_checks
-let count_implies_atom_check () = incr implies_atom_checks
-let count_cset_implies_check () = incr cset_implies_checks
-let count_project_call () = incr project_calls
-let count_simplex_run () = incr simplex_runs
-let count_simplex_pivot () = incr simplex_pivots
-let count_fm_elimination () = incr fm_eliminations
+let sat_checks = Atomic.make 0
+let implies_checks = Atomic.make 0
+let implies_atom_checks = Atomic.make 0
+let cset_implies_checks = Atomic.make 0
+let project_calls = Atomic.make 0
+let simplex_runs = Atomic.make 0
+let simplex_pivots = Atomic.make 0
+let fm_eliminations = Atomic.make 0
+
+let count_sat_check () = Atomic.incr sat_checks
+let count_implies_check () = Atomic.incr implies_checks
+let count_implies_atom_check () = Atomic.incr implies_atom_checks
+let count_cset_implies_check () = Atomic.incr cset_implies_checks
+let count_project_call () = Atomic.incr project_calls
+let count_simplex_run () = Atomic.incr simplex_runs
+let count_simplex_pivot () = Atomic.incr simplex_pivots
+let count_fm_elimination () = Atomic.incr fm_eliminations
 
 type t = {
   sat_checks : int;
@@ -29,26 +33,26 @@ type t = {
 }
 
 let reset () =
-  sat_checks := 0;
-  implies_checks := 0;
-  implies_atom_checks := 0;
-  cset_implies_checks := 0;
-  project_calls := 0;
-  simplex_runs := 0;
-  simplex_pivots := 0;
-  fm_eliminations := 0;
+  Atomic.set sat_checks 0;
+  Atomic.set implies_checks 0;
+  Atomic.set implies_atom_checks 0;
+  Atomic.set cset_implies_checks 0;
+  Atomic.set project_calls 0;
+  Atomic.set simplex_runs 0;
+  Atomic.set simplex_pivots 0;
+  Atomic.set fm_eliminations 0;
   Memo.reset_stats ()
 
 let snapshot () =
   {
-    sat_checks = !sat_checks;
-    implies_checks = !implies_checks;
-    implies_atom_checks = !implies_atom_checks;
-    cset_implies_checks = !cset_implies_checks;
-    project_calls = !project_calls;
-    simplex_runs = !simplex_runs;
-    simplex_pivots = !simplex_pivots;
-    fm_eliminations = !fm_eliminations;
+    sat_checks = Atomic.get sat_checks;
+    implies_checks = Atomic.get implies_checks;
+    implies_atom_checks = Atomic.get implies_atom_checks;
+    cset_implies_checks = Atomic.get cset_implies_checks;
+    project_calls = Atomic.get project_calls;
+    simplex_runs = Atomic.get simplex_runs;
+    simplex_pivots = Atomic.get simplex_pivots;
+    fm_eliminations = Atomic.get fm_eliminations;
     caches = Memo.stats ();
   }
 
@@ -70,10 +74,8 @@ let pp fmt s =
     s.simplex_runs s.simplex_pivots s.fm_eliminations;
   List.iter
     (fun (c : Memo.table_stats) ->
-      let total = c.Memo.hits + c.Memo.misses in
       Format.fprintf fmt "cache : %-16s hits=%-8d misses=%-8d entries=%-7d hit_rate=%.3f@\n"
-        c.Memo.name c.Memo.hits c.Memo.misses c.Memo.entries
-        (if total = 0 then 0.0 else float_of_int c.Memo.hits /. float_of_int total))
+        c.Memo.name c.Memo.hits c.Memo.misses c.Memo.entries (Memo.hit_rate c))
     s.caches;
   Format.fprintf fmt "cache : overall hit_rate=%.3f (%d hits / %d lookups)@\n" (hit_rate s)
     (total_hits s)

@@ -1,24 +1,32 @@
 type t = { id : int; name : string }
 
 let table : (string, t) Hashtbl.t = Hashtbl.create 64
-let counter = ref 0
+let lock = Mutex.create ()
+let counter = Atomic.make 0
 
+(* Interning is mutexed (named variables are rare and mostly created at
+   parse time on the main domain); the counter is atomic because [fresh]
+   is on the hot path of every worker domain during parallel evaluation. *)
 let mk name =
-  match Hashtbl.find_opt table name with
-  | Some v -> v
-  | None ->
-      incr counter;
-      let v = { id = !counter; name } in
-      Hashtbl.add table name v;
-      v
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None ->
+        let v = { id = Atomic.fetch_and_add counter 1 + 1; name } in
+        Hashtbl.add table name v;
+        v
+  in
+  Mutex.unlock lock;
+  v
 
 (* Fresh variables are NOT interned: the evaluation engine creates them per
    candidate derivation, and interning would retain them all in [table] for
    the life of the process.  The counter keeps their names unique among
    fresh variables; primes keep the names parseable by the CQL lexer. *)
 let fresh base =
-  incr counter;
-  { id = !counter; name = Printf.sprintf "%s'%d" base !counter }
+  let id = Atomic.fetch_and_add counter 1 + 1 in
+  { id; name = Printf.sprintf "%s'%d" base id }
 
 let arg i =
   if i < 1 then invalid_arg "Var.arg: positions are 1-based";

@@ -2,8 +2,23 @@ open Cql_constr
 open Cql_datalog
 module Store = Cql_store.Store
 module Planner = Cql_store.Planner
+module Pool = Cql_par.Pool
 
 module StringMap = Map.Make (String)
+
+(* ----- parallelism degree ----- *)
+
+let default_jobs_ref : int option ref = ref None
+let set_default_jobs n = default_jobs_ref := Some (max 1 n)
+
+let default_jobs () =
+  match !default_jobs_ref with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "CQLOPT_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with Some n when n >= 1 -> n | _ -> 1)
+      | None -> 1)
 
 type trace_entry = { iteration : int; rule_label : string; fact : Fact.t; subsumed : bool }
 
@@ -149,6 +164,8 @@ type backend = {
   bk_snapshot : unit -> Fact.t list StringMap.t; (* live facts, oldest first *)
   bk_stats : unit -> int * int * int * int;
       (* index probes, index hits, facts skipped, subsumptions avoided *)
+  bk_freeze : unit -> unit; (* enter read-only mode for a parallel match phase *)
+  bk_thaw : unit -> unit;
 }
 
 let indexed_backend () =
@@ -176,6 +193,8 @@ let indexed_backend () =
           s.Store.index_hits,
           s.Store.facts_skipped,
           s.Store.subsumption_avoided ));
+    bk_freeze = (fun () -> Store.freeze store);
+    bk_thaw = (fun () -> Store.thaw store);
   }
 
 (* the seed engine's storage: per-predicate assoc lists of (fact, iteration
@@ -222,6 +241,11 @@ let seed_backend () =
     bk_snapshot =
       (fun () -> StringMap.map (fun l -> List.rev_map fst l) !store);
     bk_stats = (fun () -> (0, 0, 0, 0));
+    (* the seed store is an immutable map behind a ref: reads from worker
+       domains race only with the sequential merge phase, which the pool's
+       batch handoff already orders *)
+    bk_freeze = (fun () -> ());
+    bk_thaw = (fun () -> ());
   }
 
 (* ----- evaluation loops ----- *)
@@ -248,8 +272,83 @@ let rec choose_combos bk (steps : Planner.plan) theta cstr used k =
                 ((step.Planner.orig, f) :: used) k)
         (bk.bk_cands step.Planner.part theta step.Planner.lit)
 
-let run_loop ~seminaive ~indexed ?max_iterations ?max_derivations ?(traced = false)
+(* One parallel task: a slice of a rule-plan's first-step candidates.  Tasks
+   are built in the exact order the sequential loop would enumerate them, and
+   each task emits its derivations in enumeration order, so concatenating
+   task outputs in task order reproduces the sequential production list —
+   the merge phase then behaves identically (same facts, same provenance,
+   same trace, same budget-truncation point). *)
+type task = {
+  tk_rule : Rule.t;
+  tk_rest : Planner.plan; (* plan minus the first step *)
+  tk_step0 : Planner.step option; (* None for an empty plan *)
+  tk_cands : Fact.t list; (* this task's slice of the first step's candidates *)
+}
+
+let run_task bk (tk : task) =
+  let out = ref [] in
+  let emit theta cstr used =
+    match derive_head tk.tk_rule theta cstr with
+    | None -> ()
+    | Some f -> out := (tk.tk_rule.Rule.label, f, used) :: !out
+  in
+  (match tk.tk_step0 with
+  | None -> choose_combos bk tk.tk_rest Subst.empty Conj.tt [] emit
+  | Some step0 ->
+      List.iter
+        (fun f ->
+          let flit, fcstr = fact_literal f in
+          match Subst.unify_under Subst.empty step0.Planner.lit flit with
+          | None -> ()
+          | Some theta ->
+              choose_combos bk tk.tk_rest theta fcstr [ (step0.Planner.orig, f) ] emit)
+        tk.tk_cands);
+  (* forward (enumeration) order, ready for in-order concatenation *)
+  List.rev !out
+
+(* Slice every rule-plan into tasks: the first join step's candidate list is
+   what semi-naive iteration fans out over (the delta pivot is placed first
+   by the planner), cut into [jobs * 4] chunks for load balance. *)
+let tasks_of_iteration bk jobs rule_plans =
+  let tasks = ref [] in
+  List.iter
+    (fun ((r : Rule.t), plans) ->
+      List.iter
+        (fun plan ->
+          match plan with
+          | [] -> tasks := { tk_rule = r; tk_rest = []; tk_step0 = None; tk_cands = [] } :: !tasks
+          | step0 :: rest ->
+              let cands = bk.bk_cands step0.Planner.part Subst.empty step0.Planner.lit in
+              let n = List.length cands in
+              if n = 0 then ()
+              else begin
+                let chunk = max 1 ((n + (jobs * 4) - 1) / (jobs * 4)) in
+                let rec cut cands =
+                  match cands with
+                  | [] -> ()
+                  | _ ->
+                      let rec take k acc rest =
+                        if k = 0 then (List.rev acc, rest)
+                        else
+                          match rest with
+                          | [] -> (List.rev acc, [])
+                          | x :: tl -> take (k - 1) (x :: acc) tl
+                      in
+                      let slice, rest' = take chunk [] cands in
+                      tasks :=
+                        { tk_rule = r; tk_rest = rest; tk_step0 = Some step0; tk_cands = slice }
+                        :: !tasks;
+                      cut rest'
+                in
+                cut cands
+              end)
+        plans)
+    rule_plans;
+  Array.of_list (List.rev !tasks)
+
+let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced = false)
     (p : Program.t) ~(edb : Fact.t list) =
+  let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
   let bk = if indexed then indexed_backend () else seed_backend () in
   let budget = { deriv_left = (match max_derivations with Some n -> n | None -> max_int) } in
   let provenance = ref FactMap.empty in
@@ -316,60 +415,87 @@ let run_loop ~seminaive ~indexed ?max_iterations ?max_derivations ?(traced = fal
       trace_rev = !trace_rev;
     }
   in
-  try
-    let continue_ = ref true in
-    while !continue_ do
-      let iter = !iterations + 1 in
-      (match max_iterations with
-      | Some cap when iter > cap ->
-          continue_ := false;
-          raise Exit
-      | _ -> ());
-      iterations := iter;
-      bk.bk_advance ();
-      let produced = ref [] in
-      List.iter
-        (fun ((r : Rule.t), plans) ->
+  (* With [jobs > 1] the match/join work of each iteration fans out over a
+     domain pool; the merge phase below stays sequential either way, so the
+     two paths produce identical results (see [run_task]). *)
+  let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
+  let produce () =
+    match pool with
+    | None ->
+        (* exact sequential path: no task slicing, no synchronization *)
+        let produced = ref [] in
+        List.iter
+          (fun ((r : Rule.t), plans) ->
+            List.iter
+              (fun plan ->
+                choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
+                    match derive_head r theta cstr with
+                    | None -> ()
+                    | Some f -> produced := (r.Rule.label, f, used) :: !produced))
+              plans)
+          rule_plans;
+        List.rev !produced
+    | Some pool ->
+        (* workers only read the store (frozen for the phase) and emit into
+           per-task buffers; concatenation in task order reproduces the
+           sequential production order exactly *)
+        bk.bk_freeze ();
+        let outs =
+          Fun.protect
+            ~finally:(fun () -> bk.bk_thaw ())
+            (fun () ->
+              let tasks = tasks_of_iteration bk jobs rule_plans in
+              Pool.map pool (run_task bk) tasks)
+        in
+        List.concat (Array.to_list outs)
+  in
+  Fun.protect
+    ~finally:(fun () -> match pool with Some p -> Pool.shutdown p | None -> ())
+    (fun () ->
+      try
+        let continue_ = ref true in
+        while !continue_ do
+          let iter = !iterations + 1 in
+          (match max_iterations with
+          | Some cap when iter > cap ->
+              continue_ := false;
+              raise Exit
+          | _ -> ());
+          iterations := iter;
+          bk.bk_advance ();
+          let produced = produce () in
+          let any_added = ref false in
           List.iter
-            (fun plan ->
-              choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
-                  match derive_head r theta cstr with
-                  | None -> ()
-                  | Some f -> produced := (r.Rule.label, f, used) :: !produced))
-            plans)
-        rule_plans;
-      let any_added = ref false in
-      List.iter
-        (fun (label, f, used) ->
-          let subsumed = bk.bk_known f in
-          record iter label f subsumed;
-          if not subsumed then begin
-            add_fact iter f;
-            remember label f used;
-            any_added := true
-          end)
-        (List.rev !produced);
-      if not !any_added then begin
-        fixpoint := true;
-        continue_ := false
-      end
-    done;
-    result ()
-  with
-  | Exit -> result ()
-  | Budget_exhausted -> result ()
+            (fun (label, f, used) ->
+              let subsumed = bk.bk_known f in
+              record iter label f subsumed;
+              if not subsumed then begin
+                add_fact iter f;
+                remember label f used;
+                any_added := true
+              end)
+            produced;
+          if not !any_added then begin
+            fixpoint := true;
+            continue_ := false
+          end
+        done;
+        result ()
+      with
+      | Exit -> result ()
+      | Budget_exhausted -> result ())
 
-let run ?(indexed = true) ?max_iterations ?max_derivations ?traced p ~edb =
-  run_loop ~seminaive:true ~indexed ?max_iterations ?max_derivations ?traced p ~edb
+let run ?(indexed = true) ?jobs ?max_iterations ?max_derivations ?traced p ~edb =
+  run_loop ~seminaive:true ~indexed ?jobs ?max_iterations ?max_derivations ?traced p ~edb
 
-let run_naive ?(indexed = true) ?max_iterations ?max_derivations p ~edb =
-  run_loop ~seminaive:false ~indexed ?max_iterations ?max_derivations ~traced:false p ~edb
+let run_naive ?(indexed = true) ?jobs ?max_iterations ?max_derivations p ~edb =
+  run_loop ~seminaive:false ~indexed ?jobs ?max_iterations ?max_derivations ~traced:false p ~edb
 
 (* SCC-stratified evaluation: process the predicate dependency graph
    callees-first, running the semi-naive loop once per stratum with all
    earlier facts as input.  Same fixpoint; each stratum's rules only ever
    see fully-computed lower strata, so no wasted re-derivation across strata. *)
-let run_stratified ?(indexed = true) ?max_iterations ?max_derivations (p : Program.t) ~edb =
+let run_stratified ?(indexed = true) ?jobs ?max_iterations ?max_derivations (p : Program.t) ~edb =
   let g = Depgraph.of_program p in
   let derived = Program.derived p in
   let sccs =
@@ -395,8 +521,8 @@ let run_stratified ?(indexed = true) ?max_iterations ?max_derivations (p : Progr
         in
         let sub = { p with Program.rules } in
         let res =
-          run_loop ~seminaive:true ~indexed ?max_iterations ~max_derivations:!deriv_budget
-            ~traced:false sub ~edb:!facts
+          run_loop ~seminaive:true ~indexed ?jobs ?max_iterations
+            ~max_derivations:!deriv_budget ~traced:false sub ~edb:!facts
         in
         deriv_budget := !deriv_budget - res.stats.derivations;
         derivations := !derivations + res.stats.derivations;
@@ -414,7 +540,7 @@ let run_stratified ?(indexed = true) ?max_iterations ?max_derivations (p : Progr
       else fixpoint := false)
     sccs;
   match !last with
-  | None -> run ~indexed ?max_iterations ?max_derivations p ~edb
+  | None -> run ~indexed ?jobs ?max_iterations ?max_derivations p ~edb
   | Some res ->
       (* merge provenance, preferring the stratum that really derived a
          fact over a later stratum seeing it as input *)

@@ -18,9 +18,26 @@
     checks.  Rule bodies are reordered once per rule by the join planner's
     bound-ness heuristic ({!Cql_store.Planner}).  Passing [~indexed:false]
     selects the seed list-based storage path instead — same answers, linear
-    scans — kept as the reference implementation for cross-checking. *)
+    scans — kept as the reference implementation for cross-checking.
+
+    {b Parallelism.}  With [~jobs:n] (n > 1) each semi-naive iteration fans
+    the (rule-plan × first-step-candidate-chunk) match/join tasks out over a
+    domain pool ({!Cql_par.Pool}): workers probe the frozen, read-only store
+    and emit candidate derivations into per-task buffers, and a sequential
+    merge phase then performs subsumption, provenance and delta construction
+    in the exact order the sequential engine would have — so results
+    (facts, derivation counts, trace, provenance, budget truncation) are
+    identical for every [jobs] value.  [~jobs:1] is the unmodified
+    sequential code path. *)
 
 open Cql_datalog
+
+val set_default_jobs : int -> unit
+(** Set the parallelism degree used when [?jobs] is not passed (clamped to
+    at least 1).  Until called, the default is the [CQLOPT_JOBS]
+    environment variable if it parses as a positive integer, else 1. *)
+
+val default_jobs : unit -> int
 
 type trace_entry = {
   iteration : int;
@@ -67,6 +84,7 @@ val provenance : result -> Fact.t -> (string * Fact.t list) option
 
 val run :
   ?indexed:bool ->
+  ?jobs:int ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   ?traced:bool ->
@@ -76,10 +94,13 @@ val run :
 (** Semi-naive evaluation.  Iteration 0 loads the EDB and fires the
     program's fact rules; subsequent iterations are delta-driven.
     [indexed] (default [true]) selects the indexed relation store and join
-    planner; [~indexed:false] runs the seed list-based reference path. *)
+    planner; [~indexed:false] runs the seed list-based reference path.
+    [jobs] (default {!default_jobs}) is the number of domains evaluating
+    each iteration's match phase; results are identical for every value. *)
 
 val run_naive :
   ?indexed:bool ->
+  ?jobs:int ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   Program.t ->
@@ -90,6 +111,7 @@ val run_naive :
 
 val run_stratified :
   ?indexed:bool ->
+  ?jobs:int ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   Program.t ->

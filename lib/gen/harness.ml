@@ -11,7 +11,7 @@ module Decidable = Cql_core.Decidable
 module Adorn = Cql_core.Adorn
 module Gmt = Cql_core.Gmt
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel
 
 let oracle_name = function
   | Answers -> "answers"
@@ -20,6 +20,7 @@ let oracle_name = function
   | Monotone -> "monotone"
   | Bound -> "bound"
   | Cache -> "cache"
+  | Parallel -> "parallel"
 
 let oracle_of_name = function
   | "answers" -> Answers
@@ -28,6 +29,7 @@ let oracle_of_name = function
   | "monotone" -> Monotone
   | "bound" -> Bound
   | "cache" -> Cache
+  | "parallel" -> Parallel
   | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
 
 type failure = {
@@ -126,6 +128,42 @@ let check_cache_differential ~max_iterations ~max_derivations ~max_iters st p ed
         None
       end
   | _ -> Some "constraint_rewrite applicability differs with caches on vs off"
+
+(* ----- the parallel differential (oracle 7) ----- *)
+
+(* Run the heaviest rewrite and an evaluation of its output with [jobs=1]
+   (the exact sequential path) and [jobs=4] (domain-pool fan-out), each from
+   a fresh cache state, and require alpha-equivalent rewritten programs,
+   identical sorted answers, identical derivation counts and identical
+   fixpoint status.  Parallelism may only ever change speed, never a
+   result. *)
+let check_parallel_differential ~max_iterations ~max_derivations ~max_iters st p edb =
+  let run_with jobs =
+    Memo.clear_all ();
+    match Rw.constraint_rewrite ~max_iters p with
+    | exception (Invalid_argument _ | Failure _) -> None
+    | p', _ ->
+        let res = Engine.run ~jobs ~max_iterations ~max_derivations p' ~edb in
+        Some
+          ( p',
+            List.sort F.compare (Engine.answers res p'),
+            (Engine.stats res).Engine.derivations,
+            (Engine.stats res).Engine.reached_fixpoint )
+  in
+  match (run_with 1, run_with 4) with
+  | None, None -> None
+  | Some (p1, a1, d1, f1), Some (p4, a4, d4, f4) ->
+      if not (Program.equal_mod_renaming p1 p4) then
+        Some "constraint_rewrite output differs between jobs=1 and jobs=4"
+      else if d1 <> d4 then
+        Some (Printf.sprintf "derivation counts differ (jobs=1: %d, jobs=4: %d)" d1 d4)
+      else if f1 <> f4 || not (List.equal F.equal a1 a4) then
+        Some "evaluation answers differ between jobs=1 and jobs=4"
+      else begin
+        st.checks <- st.checks + 1;
+        None
+      end
+  | _ -> Some "constraint_rewrite applicability differs between jobs=1 and jobs=4"
 
 (* ----- pipelines ----- *)
 
@@ -302,6 +340,11 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             with
             | Some detail -> fail Cache "constraint_rewrite" detail
             | None -> (
+            match
+              check_parallel_differential ~max_iterations ~max_derivations ~max_iters st p edb
+            with
+            | Some detail -> fail Parallel "eval" detail
+            | None -> (
             let orig_preds = Program.predicates p in
             let orig_facts pred = Engine.facts_of res0 pred in
             let answers0 = Engine.answers res0 p in
@@ -395,7 +438,7 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             | None -> (
                 match check_solver_pool st !solver_pool with
                 | Some detail -> fail Solver "solver" detail
-                | None -> None))))
+                | None -> None)))))
   end
 
 (* ----- shrinking ----- *)

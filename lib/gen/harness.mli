@@ -1,7 +1,7 @@
 (** Differential fuzzing harness: run generated (program, query, EDB) cases
     through every rewrite pipeline and check the equivalence oracles.
 
-    Six oracles guard the paper's claims and the implementation:
+    Seven oracles guard the paper's claims and the implementation:
 
     + {b Answers} — query-answer equivalence: the rewritten program computes
       exactly the original's query answers (Theorems 4.7/4.8, 6.2, 7.10),
@@ -23,6 +23,11 @@
       never change a result: the [constraint_rewrite] output and the answers
       of its evaluation are identical with caches enabled and disabled, each
       run starting from a fresh cache state.
+    + {b Parallel} — the domain-pool evaluator never changes a result: the
+      [constraint_rewrite] output (mod renaming), the sorted answers of its
+      evaluation, the derivation count and the fixpoint status are identical
+      between [jobs=1] (the exact sequential path) and [jobs=4], each run
+      starting from a fresh cache state.
 
     On failure the harness shrinks the case — dropping rules, EDB facts,
     body literals and constraint atoms while the failure persists and the
@@ -33,7 +38,7 @@
 open Cql_constr
 open Cql_datalog
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel
 
 val oracle_name : oracle -> string
 

@@ -1,0 +1,135 @@
+type batch = {
+  run : int -> unit;  (* run task [i]; must not raise *)
+  n : int;
+  next : int Atomic.t;  (* shared claim cursor *)
+  chunk : int;
+  left : int Atomic.t;  (* tasks not yet finished *)
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when a batch is published or on stop *)
+  done_ : Condition.t;  (* signalled when a batch fully drains *)
+  mutable batch : batch option;
+  mutable generation : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Claim chunks of tasks off [b.next] until the cursor passes [b.n].
+   Decrementing [b.left] by the number of tasks actually run lets the
+   last finisher detect completion and wake the caller. *)
+let drain t b =
+  let rec loop () =
+    let lo = Atomic.fetch_and_add b.next b.chunk in
+    if lo < b.n then begin
+      let hi = min b.n (lo + b.chunk) in
+      for i = lo to hi - 1 do
+        b.run i
+      done;
+      let remaining = Atomic.fetch_and_add b.left (lo - hi) + (lo - hi) in
+      if remaining = 0 then begin
+        Mutex.lock t.m;
+        Condition.broadcast t.done_;
+        Mutex.unlock t.m
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t =
+  let seen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.work t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      seen := t.generation;
+      let b = t.batch in
+      Mutex.unlock t.m;
+      (match b with Some b -> drain t b | None -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      batch = None;
+      generation = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let map t f xs =
+  let n = Array.length xs in
+  if t.stop then invalid_arg "Pool.map: pool is shut down";
+  if t.jobs <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let run i =
+      if Atomic.get failure = None then
+        match f xs.(i) with
+        | v -> results.(i) <- Some v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            (* first failure wins; later tasks are skipped, not run *)
+            ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    let chunk = max 1 (n / (t.jobs * 4)) in
+    let b = { run; n; next = Atomic.make 0; chunk; left = Atomic.make n } in
+    Mutex.lock t.m;
+    t.batch <- Some b;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    (* the caller participates as the jobs-th worker *)
+    drain t b;
+    Mutex.lock t.m;
+    while Atomic.get b.left > 0 do
+      Condition.wait t.done_ t.m
+    done;
+    t.batch <- None;
+    Mutex.unlock t.m;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function
+            | Some v -> v
+            | None -> assert false (* only reachable after a failure *))
+          results
+  end
+
+let shutdown t =
+  if not t.stop then begin
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

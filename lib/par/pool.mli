@@ -1,0 +1,40 @@
+(** A small, dependency-free domain pool for fork/join parallelism.
+
+    [create ~jobs] spawns [jobs - 1] worker domains once; every subsequent
+    {!map} fans an array of independent tasks out across the workers plus
+    the calling domain, with chunked work stealing from a shared cursor.
+    Task results come back in task order, so a deterministic decomposition
+    stays deterministic after the parallel phase.  The first exception a
+    task raises is re-raised in the caller (with its backtrace) after the
+    batch drains; remaining unstarted tasks are skipped.
+
+    With [jobs = 1] no domains are spawned and {!map} degrades to
+    [Array.map] — the exact sequential path, with no synchronization.
+
+    Batches must not be nested: a task must not call {!map} on the pool
+    that is running it (worker domains only drain the current batch). *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] total workers ([jobs - 1] new domains;
+    the caller is the remaining worker). *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] computes [Array.map f xs] with the tasks distributed
+    over the pool.  Results are in input order.  Re-raises the first task
+    exception after the batch completes. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  The pool must be idle; using
+    it afterwards raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, exception-safely. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], the runtime's estimate of how
+    many domains this machine runs well. *)

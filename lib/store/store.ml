@@ -62,6 +62,8 @@ let add s f =
   Table.insert t f
 
 let advance s = Hashtbl.iter (fun _ t -> Table.advance t) s.tables
+let freeze s = Hashtbl.iter (fun _ t -> Table.freeze t) s.tables
+let thaw s = Hashtbl.iter (fun _ t -> Table.thaw t) s.tables
 
 (* bound columns of a resolved literal: constants give index keys *)
 let bound_columns (l : Literal.t) =

@@ -5,7 +5,15 @@
     applying the current substitution) are answered from a hash index on the
     bound columns; subsumption checks only compare facts with the same
     symbolic pattern, with duplicate ground facts detected by hash lookup.
-    The counters expose how much work indexing saved. *)
+    The counters expose how much work indexing saved.
+
+    {b Concurrency.}  The store is single-writer.  During a parallel match
+    phase, {!freeze} it: worker domains may then {!probe} concurrently (the
+    per-table lazy indexes synchronize internally) while {!add}/{!advance}
+    raise, enforcing read-only sharing for the round.  {!stats} counters
+    are plain (non-atomic) ints: concurrent probes may lose increments, so
+    under [jobs > 1] they are approximate — acceptable for observability,
+    never used for control flow. *)
 
 open Cql_datalog
 
@@ -39,6 +47,12 @@ val add : t -> Fact.t -> unit
 
 val advance : t -> unit
 (** Iteration boundary on every table: old ∪= delta, delta ← pending. *)
+
+val freeze : t -> unit
+(** Enter read-only mode on every table (see {!Table.freeze}). *)
+
+val thaw : t -> unit
+(** Leave read-only mode on every table. *)
 
 val probe : t -> partition -> Literal.t -> Fact.t list
 (** Candidate facts for a body literal {e already resolved} under the

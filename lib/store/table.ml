@@ -47,9 +47,15 @@ type t = {
   mutable pending_cells : cell list;
   mutable all_rev : cell list; (* insertion order (newest first), for listing *)
   mutable live_counts : int array; (* live cells per partition tag *)
-  (* join indexes, created lazily per probed column set *)
-  mutable old_indexes : Index.t list;
-  mutable delta_indexes : Index.t list;
+  (* join indexes, created lazily per probed column set.  The lists are
+     atomic so a worker domain probing during a frozen (read-only) round
+     either sees a fully-built index or builds one under [lock] — a plain
+     mutable field would publish the index's internal Hashtbl without
+     synchronization, which the OCaml memory model does not allow. *)
+  old_indexes : Index.t list Atomic.t;
+  delta_indexes : Index.t list Atomic.t;
+  lock : Mutex.t; (* serializes lazy index construction *)
+  mutable frozen : bool; (* read-only mode during a parallel match phase *)
   (* subsumption indexes over every live cell *)
   ground : cell GroundTbl.t; (* fully-pinned facts by (pattern, values) *)
   patterns : (pattern, sbucket) Hashtbl.t;
@@ -62,8 +68,10 @@ let create () =
     pending_cells = [];
     all_rev = [];
     live_counts = Array.make 3 0;
-    old_indexes = [];
-    delta_indexes = [];
+    old_indexes = Atomic.make [];
+    delta_indexes = Atomic.make [];
+    lock = Mutex.create ();
+    frozen = false;
     ground = GroundTbl.create 64;
     patterns = Hashtbl.create 16;
   }
@@ -96,7 +104,12 @@ let kill t c =
 
 (* ----- insertion & subsumption ----- *)
 
+let freeze t = t.frozen <- true
+let thaw t = t.frozen <- false
+let check_mutable t who = if t.frozen then invalid_arg (who ^ ": table is frozen")
+
 let insert t f =
+  check_mutable t "Table.insert";
   let c = { fact = f; live = true; part = p_pending } in
   t.pending_cells <- c :: t.pending_cells;
   t.all_rev <- c :: t.all_rev;
@@ -145,6 +158,7 @@ let known_subsumes t f =
    subsume is its duplicate, which [known_subsumes] already rejected, so
    only general cells need scanning. *)
 let back_subsume t f =
+  check_mutable t "Table.back_subsume";
   match Hashtbl.find_opt t.patterns (pattern_of f) with
   | None -> 0
   | Some b ->
@@ -168,9 +182,10 @@ let back_subsume t f =
    pending becomes the next delta.  Delta indexes are rebuilt lazily since
    the partition's contents just changed wholesale. *)
 let advance t =
+  check_mutable t "Table.advance";
   let promoted = List.filter (fun c -> c.live) t.delta_cells in
   List.iter (fun c -> c.part <- p_old) promoted;
-  List.iter (fun idx -> List.iter (fun c -> Index.add idx c) promoted) t.old_indexes;
+  List.iter (fun idx -> List.iter (fun c -> Index.add idx c) promoted) (Atomic.get t.old_indexes);
   t.old_cells <- promoted @ t.old_cells;
   t.live_counts.(p_old) <- t.live_counts.(p_old) + List.length promoted;
   let delta = List.filter (fun c -> c.live) t.pending_cells in
@@ -179,25 +194,35 @@ let advance t =
   t.live_counts.(p_delta) <- List.length delta;
   t.pending_cells <- [];
   t.live_counts.(p_pending) <- 0;
-  t.delta_indexes <- []
+  Atomic.set t.delta_indexes []
 
 (* ----- probing ----- *)
 
-let get_index cells indexes set_indexes positions =
-  match List.find_opt (fun i -> Index.positions i = positions) indexes with
+(* Double-checked: the fast path reads the atomic list without locking;
+   on a miss the index is built and published under [t.lock], so at most
+   one domain builds a given index and others see it only once complete. *)
+let get_index t cells indexes positions =
+  let find l = List.find_opt (fun i -> Index.positions i = positions) l in
+  match find (Atomic.get indexes) with
   | Some idx -> idx
   | None ->
-      let idx = Index.of_cells positions cells in
-      set_indexes (idx :: indexes);
+      Mutex.lock t.lock;
+      let idx =
+        match find (Atomic.get indexes) with
+        | Some idx -> idx
+        | None ->
+            let idx = Index.of_cells positions cells in
+            Atomic.set indexes (idx :: Atomic.get indexes);
+            idx
+      in
+      Mutex.unlock t.lock;
       idx
 
 let probe_one t which positions key =
   let idx =
     match which with
-    | `Old ->
-        get_index t.old_cells t.old_indexes (fun l -> t.old_indexes <- l) positions
-    | `Delta ->
-        get_index t.delta_cells t.delta_indexes (fun l -> t.delta_indexes <- l) positions
+    | `Old -> get_index t t.old_cells t.old_indexes positions
+    | `Delta -> get_index t t.delta_cells t.delta_indexes positions
   in
   let bucket, wild = Index.probe idx key in
   List.filter_map (fun c -> if c.live then Some c.fact else None) (bucket @ wild)

@@ -10,7 +10,15 @@
     Subsumption candidates are bucketed by symbolic pattern (only facts with
     identical [Psym]/[Pvar] layouts are comparable) and fully-pinned facts
     are additionally hashed by their value tuple, so duplicate ground facts
-    are detected without a single solver call. *)
+    are detected without a single solver call.
+
+    {b Concurrency.}  A table is single-writer: all mutation ({!insert},
+    {!advance}, {!back_subsume}) happens on one domain in the sequential
+    phases of evaluation.  During a parallel match phase the table must be
+    {!freeze}-d: worker domains may then call {!probe} and {!scan}
+    concurrently (lazy index construction synchronizes internally) while
+    any mutation raises [Invalid_argument], enforcing the read-only
+    contract. *)
 
 type cell = Index.cell = { fact : Fact.t; mutable live : bool; mutable part : int }
 
@@ -33,6 +41,13 @@ val back_subsume : t -> Fact.t -> int
 
 val advance : t -> unit
 (** Iteration boundary: old ∪= delta, delta ← pending, pending ← ∅. *)
+
+val freeze : t -> unit
+(** Enter read-only mode: mutation raises until {!thaw}.  Probing stays
+    legal from any domain. *)
+
+val thaw : t -> unit
+(** Leave read-only mode (call from the mutating domain only). *)
 
 val probe : t -> partition -> int list -> Cql_datalog.Term.const list -> Fact.t list
 (** [probe t part positions key]: live facts of [part] agreeing with [key]

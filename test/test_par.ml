@@ -1,0 +1,262 @@
+(* Tests for the parallel evaluation layer: the domain pool, domain-safety
+   of the interned constraint terms and memo caches, and jobs=1 vs jobs=N
+   equivalence of the engine. *)
+
+open Cql_num
+open Cql_constr
+open Cql_datalog
+open Cql_eval
+module Pool = Cql_par.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let parse = Parser.program_of_string
+let edb_of s = List.map Fact.of_fact_rule (Parser.facts_of_string s)
+
+(* ----- pool ----- *)
+
+let test_pool_map () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check_int "jobs" 4 (Pool.jobs pool);
+      let xs = Array.init 100 Fun.id in
+      let ys = Pool.map pool (fun x -> x * x) xs in
+      check_bool "squares in order" true (ys = Array.init 100 (fun i -> i * i));
+      (* a pool is reusable across batches *)
+      let zs = Pool.map pool string_of_int xs in
+      check_bool "second batch" true (zs = Array.init 100 string_of_int))
+
+let test_pool_sequential () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      check_int "jobs clamped" 1 (Pool.jobs pool);
+      let ys = Pool.map pool succ (Array.init 10 Fun.id) in
+      check_bool "jobs=1 is Array.map" true (ys = Array.init 10 succ));
+  (* jobs below 1 clamp to 1 rather than failing *)
+  Pool.with_pool ~jobs:0 (fun pool -> check_int "jobs=0 clamped" 1 (Pool.jobs pool))
+
+exception Boom of int
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let raised =
+        match Pool.map pool (fun x -> if x = 37 then raise (Boom x) else x) (Array.init 64 Fun.id)
+        with
+        | _ -> None
+        | exception Boom n -> Some n
+      in
+      check_bool "task exception re-raised in caller" true (raised = Some 37);
+      (* the pool survives a failed batch *)
+      let ys = Pool.map pool succ (Array.init 8 Fun.id) in
+      check_bool "usable after failure" true (ys = Array.init 8 succ))
+
+let test_pool_empty_and_tiny () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      check_bool "empty input" true (Pool.map pool succ [||] = [||]);
+      check_bool "single task" true (Pool.map pool succ [| 41 |] = [| 42 |]))
+
+(* ----- domain-safe interning ----- *)
+
+(* four domains concurrently intern overlapping atoms and conjunctions;
+   interning must hand every domain the same physical term for the same
+   structure, with ids unique per structure *)
+let test_interning_stress () =
+  let build () =
+    List.init 200 (fun k ->
+        let a = Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int k) in
+        let b = Atom.ge (Linexpr.var (Var.arg 2)) (Linexpr.of_int (k mod 17)) in
+        (a, Conj.of_list [ a; b ]))
+  in
+  let domains = Array.init 4 (fun _ -> Domain.spawn build) in
+  let results = Array.map Domain.join domains in
+  let reference = build () in
+  Array.iter
+    (fun r ->
+      List.iter2
+        (fun (a, c) (a', c') ->
+          check_bool "atom interned across domains" true (a == a');
+          check_bool "conj interned across domains" true (c == c'))
+        reference r)
+    results;
+  (* atoms and conjunctions draw from separate id counters; within each
+     space, distinct structures must have distinct ids *)
+  let atom_ids = List.map (fun (a, _) -> Atom.id a) reference in
+  let conj_ids = List.map (fun (_, c) -> Conj.id c) reference in
+  check_int "atom ids unique per structure" (List.length atom_ids)
+    (List.length (List.sort_uniq compare atom_ids));
+  check_int "conj ids unique per structure" (List.length conj_ids)
+    (List.length (List.sort_uniq compare conj_ids))
+
+let test_fresh_vars_parallel () =
+  (* Var.fresh from concurrent domains must never hand out a duplicate id *)
+  let grab () = List.init 500 (fun _ -> Var.fresh "t") in
+  let domains = Array.init 4 (fun _ -> Domain.spawn grab) in
+  let vars = Array.to_list (Array.map Domain.join domains) @ [ grab () ] in
+  let names = List.concat_map (List.map Var.name) vars in
+  check_int "fresh names unique across domains" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+(* ----- memo caches under domains ----- *)
+
+let test_memo_domain_isolation () =
+  let c : (int, int) Memo.cache = Memo.create ~name:"test_par_isolation" in
+  Memo.clear_all ();
+  Memo.reset_stats ();
+  let v1 = Memo.cached c 1 (fun () -> 10) in
+  let v2 = Memo.cached c 1 (fun () -> 99) in
+  check_int "miss then hit in main domain" 10 v1;
+  check_int "hit returns memoized value" 10 v2;
+  (* a fresh domain has its own empty table: it recomputes rather than
+     seeing the main domain's entry *)
+  let other = Domain.spawn (fun () -> Memo.cached c 1 (fun () -> 20)) in
+  check_int "spawned domain recomputes" 20 (Domain.join other);
+  (* ...while hit/miss counters aggregate across domains *)
+  let s = List.find (fun s -> s.Memo.name = "test_par_isolation") (Memo.stats ()) in
+  check_int "aggregated hits" 1 s.Memo.hits;
+  check_int "aggregated misses" 2 s.Memo.misses
+
+let test_memo_hit_rate_zero_calls () =
+  (* a registered cache that was never queried must report 0.0, not nan *)
+  let _c : (int, int) Memo.cache = Memo.create ~name:"test_par_untouched" in
+  Memo.reset_stats ();
+  let s = List.find (fun s -> s.Memo.name = "test_par_untouched") (Memo.stats ()) in
+  check_int "no hits" 0 s.Memo.hits;
+  check_int "no misses" 0 s.Memo.misses;
+  check_bool "hit rate is 0.0 for zero calls" true (Memo.hit_rate s = 0.0);
+  check_bool "hit rate is finite" true (Float.is_finite (Memo.hit_rate s))
+
+let test_memo_results_agree_across_domains () =
+  (* the decision procedures give the same answers from a worker domain *)
+  let c = Conj.of_list [ Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int 2) ] in
+  let a = Atom.le (Linexpr.var (Var.arg 1)) (Linexpr.of_int 5) in
+  let here = Conj.implies_atom c a in
+  let there = Domain.join (Domain.spawn (fun () -> Conj.implies_atom c a)) in
+  check_bool "implies_atom agrees across domains" true (here = there && here = true)
+
+(* ----- engine: jobs=1 vs jobs=N equivalence ----- *)
+
+let flights_p =
+  {|r1: reach(madison).
+r2: reach(D) :- reach(S), flight(S, D, T, C), C <= 400.
+r3: hops(D, N) :- reach(D), flight(S, D, T, C), hops(S, M), N = M + 1, N <= 6.
+r4: hops(madison, 0).
+#query reach.
+|}
+
+let flights_edb =
+  edb_of
+    {|flight(madison, chicago, 60, 80).
+flight(chicago, newark, 110, 160).
+flight(newark, boston, 50, 90).
+flight(boston, madison, 190, 340).
+flight(chicago, seattle, 230, 390).
+flight(seattle, anchorage, 210, 420).
+flight(newark, madison, 140, 170).
+|}
+
+let sorted_all res =
+  List.map (fun (p, fs) -> (p, List.sort Fact.compare fs)) (List.sort compare (Engine.all_facts res))
+
+let check_runs_agree name r1 rn =
+  let s1 = Engine.stats r1 and sn = Engine.stats rn in
+  check_int (name ^ ": iterations") s1.Engine.iterations sn.Engine.iterations;
+  check_int (name ^ ": derivations") s1.Engine.derivations sn.Engine.derivations;
+  check_int (name ^ ": facts_added") s1.Engine.facts_added sn.Engine.facts_added;
+  check_bool (name ^ ": fixpoint") s1.Engine.reached_fixpoint sn.Engine.reached_fixpoint;
+  check_bool (name ^ ": all facts equal") true
+    (List.equal
+       (fun (p, fs) (q, gs) -> p = q && List.equal Fact.equal fs gs)
+       (sorted_all r1) (sorted_all rn))
+
+let test_engine_parallel_equivalence () =
+  let p = parse flights_p in
+  let r1 = Engine.run ~jobs:1 p ~edb:flights_edb in
+  let r4 = Engine.run ~jobs:4 p ~edb:flights_edb in
+  check_bool "some answers" true (Engine.facts_of r1 "reach" <> []);
+  check_runs_agree "flights" r1 r4
+
+let test_engine_parallel_truncated () =
+  (* budget truncation must cut at the identical derivation for any jobs,
+     on a diverging program where the cut point is observable *)
+  let p = parse "r1: p(0).\nr2: p(Y) :- p(X), Y = X + 1.\n#query p." in
+  let r1 = Engine.run ~jobs:1 ~max_derivations:7 p ~edb:[] in
+  let r4 = Engine.run ~jobs:4 ~max_derivations:7 p ~edb:[] in
+  check_bool "truncated" false (Engine.stats r1).Engine.reached_fixpoint;
+  check_runs_agree "truncated" r1 r4;
+  let i1 = Engine.run ~jobs:1 ~max_iterations:4 p ~edb:[] in
+  let i4 = Engine.run ~jobs:4 ~max_iterations:4 p ~edb:[] in
+  check_runs_agree "iteration-capped" i1 i4
+
+let test_engine_parallel_deterministic () =
+  let p = parse flights_p in
+  let runs = List.init 3 (fun _ -> Engine.run ~jobs:4 p ~edb:flights_edb) in
+  match runs with
+  | first :: rest -> List.iteri (fun i r -> check_runs_agree (Printf.sprintf "repeat %d" i) first r) rest
+  | [] -> assert false
+
+let test_engine_parallel_constraint_facts () =
+  (* non-ground constraint facts exercise subsumption in the merge phase *)
+  let p =
+    parse
+      {|r1: span(X; X >= 0, X <= 10).
+r2: narrow(Y) :- span(Y), Y <= 3.
+r3: narrow(Z; Z >= 5, Z <= 6) :- span(Z).
+#query narrow.
+|}
+  in
+  let r1 = Engine.run ~jobs:1 p ~edb:[] in
+  let r4 = Engine.run ~jobs:4 p ~edb:[] in
+  check_runs_agree "constraint facts" r1 r4
+
+let test_engine_seed_backend_parallel () =
+  let p = parse flights_p in
+  let r1 = Engine.run ~indexed:false ~jobs:1 p ~edb:flights_edb in
+  let r4 = Engine.run ~indexed:false ~jobs:4 p ~edb:flights_edb in
+  check_runs_agree "seed backend" r1 r4
+
+let test_default_jobs () =
+  let restore = Engine.default_jobs () in
+  Engine.set_default_jobs 3;
+  check_int "set_default_jobs" 3 (Engine.default_jobs ());
+  Engine.set_default_jobs 0;
+  check_int "clamped to 1" 1 (Engine.default_jobs ());
+  Engine.set_default_jobs restore
+
+(* qcheck: random rationals through the pool match sequential arithmetic *)
+let test_pool_qcheck =
+  QCheck.Test.make ~name:"pool map = Array.map" ~count:50
+    QCheck.(array_of_size Gen.(int_range 0 40) (pair small_int small_int))
+    (fun xs ->
+      let f (a, b) = Rat.to_string (Rat.add (Rat.of_int a) (Rat.of_int b)) in
+      Pool.with_pool ~jobs:3 (fun pool -> Pool.map pool f xs = Array.map f xs))
+
+let () =
+  Alcotest.run "cql_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order + reuse" `Quick test_pool_map;
+          Alcotest.test_case "jobs=1 sequential path" `Quick test_pool_sequential;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "empty and tiny batches" `Quick test_pool_empty_and_tiny;
+          QCheck_alcotest.to_alcotest test_pool_qcheck;
+        ] );
+      ( "interning",
+        [
+          Alcotest.test_case "4-domain stress" `Quick test_interning_stress;
+          Alcotest.test_case "fresh vars unique" `Quick test_fresh_vars_parallel;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "per-domain isolation" `Quick test_memo_domain_isolation;
+          Alcotest.test_case "hit rate of untouched cache" `Quick test_memo_hit_rate_zero_calls;
+          Alcotest.test_case "agreement across domains" `Quick test_memo_results_agree_across_domains;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4" `Quick test_engine_parallel_equivalence;
+          Alcotest.test_case "budget truncation" `Quick test_engine_parallel_truncated;
+          Alcotest.test_case "repeated jobs=4 determinism" `Quick test_engine_parallel_deterministic;
+          Alcotest.test_case "constraint-fact subsumption" `Quick test_engine_parallel_constraint_facts;
+          Alcotest.test_case "seed backend" `Quick test_engine_seed_backend_parallel;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        ] );
+    ]
