@@ -877,6 +877,7 @@ let json_solver_cache () =
         ("simplex_runs", jint s.Solver_stats.simplex_runs);
         ("simplex_pivots", jint s.Solver_stats.simplex_pivots);
         ("fm_eliminations", jint s.Solver_stats.fm_eliminations);
+        ("pivot_limit_hits", jint s.Solver_stats.pivot_limit_hits);
         ( "caches",
           List
             (List.map
@@ -908,6 +909,45 @@ let json_solver_cache () =
         let module H = Cql_gen.Harness in
         ignore (H.run ~config:(G.default G.Decidable) ~seed:fuzz_seed ~count:50 ()));
   ]
+
+(* per-phase wall-clock timings from the lib/obs tracing subsystem over two
+   representative pipelines (rewrite + evaluate), each run with tracing armed
+   and a cleared event buffer; [spans] aggregates by span name *)
+let json_trace () =
+  let module Obs = Cql_obs.Obs in
+  let was_enabled = Obs.enabled () in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let workload name f =
+    Obs.reset ();
+    f ();
+    let spans =
+      List.map
+        (fun (r : Obs.summary_row) ->
+          Obj
+            [
+              ("span", Str r.Obs.sr_name);
+              ("count", jint r.Obs.sr_count);
+              ("total_ns", Raw (Int64.to_string r.Obs.sr_total_ns));
+              ("max_ns", Raw (Int64.to_string r.Obs.sr_max_ns));
+            ])
+        (Obs.summary ())
+    in
+    (name, Obj [ ("spans", List spans); ("events", jint (List.length (Obs.events ()))) ])
+  in
+  let rows =
+    [
+      workload "rewrite_flights" (fun () ->
+          ignore (Rewrite.constraint_rewrite (parse flights_src)));
+      workload "eval_flights_rewritten" (fun () ->
+          let p = parse flights_src in
+          let p', _ = Rewrite.constraint_rewrite p in
+          ignore (Engine.run ~max_iterations:10 p' ~edb:(singleleg_edb 108 8)));
+    ]
+  in
+  Obs.reset ();
+  Obs.set_enabled was_enabled;
+  rows
 
 (* per-jobs wall time and speedup on the flights-P workload; [cores] records
    how many domains the runtime recommends on the measuring machine (on a
@@ -958,6 +998,7 @@ let run_json () =
               ("fib_backward", json_fib ());
               ("fuzz", List (json_fuzz ()));
               ("solver_cache", Obj (json_solver_cache ()));
+              ("trace", Obj (json_trace ()));
               ("parallel", json_parallel ());
             ] );
         ("timings", List timings);

@@ -66,6 +66,34 @@ let print_solver_stats flag =
   if flag then
     Format.eprintf "%a@?" Cql_constr.Solver_stats.pp (Cql_constr.Solver_stats.snapshot ())
 
+(* ----- tracing (lib/obs) ----- *)
+
+let trace_json_arg =
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE"
+         ~doc:"Enable phase tracing and, when the command finishes, write the \
+               recorded span events as NDJSON (one JSON object per line) to \
+               $(docv), or to stdout for '-'")
+
+let metrics_arg =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"Enable phase tracing and print a per-phase timing summary plus \
+               all nonzero counters to stderr when the command finishes")
+
+(* arm tracing before the work runs; CQLOPT_TRACE=1 arms it at load time
+   without either flag *)
+let apply_tracing trace_json metrics =
+  if trace_json <> None || metrics then Cql_obs.Obs.set_enabled true
+
+let emit_tracing trace_json metrics =
+  (match trace_json with
+  | None -> ()
+  | Some "-" -> Cql_obs.Obs.write_ndjson stdout
+  | Some path -> (
+      match open_out path with
+      | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Cql_obs.Obs.write_ndjson oc)
+      | exception Sys_error msg -> prerr_endline msg));
+  if metrics then Format.eprintf "%a@?" Cql_obs.Obs.pp_summary ()
+
 (* ----- analyze ----- *)
 
 let analyze_cmd =
@@ -125,8 +153,9 @@ let parse_steps adornment constraint_magic s =
 
 let rewrite_cmd =
   let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
-      solver_stats jobs =
+      solver_stats jobs trace_json metrics =
     apply_jobs jobs;
+    apply_tracing trace_json metrics;
     let code =
     match read_program path with
     | Error msg ->
@@ -164,6 +193,7 @@ let rewrite_cmd =
             0)
     in
     print_solver_stats solver_stats;
+    emit_tracing trace_json metrics;
     code
   in
   let steps =
@@ -192,7 +222,8 @@ let rewrite_cmd =
   in
   let term =
     Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
-          $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg $ jobs_arg)
+          $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg $ jobs_arg
+          $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a program by pushing constraint selections") term
 
@@ -200,8 +231,9 @@ let rewrite_cmd =
 
 let eval_cmd =
   let run path edb_path max_iterations max_derivations traced naive explain stratified
-      solver_stats jobs =
+      solver_stats jobs trace_json metrics =
     apply_jobs jobs;
+    apply_tracing trace_json metrics;
     let code =
     match read_program path with
     | Error msg ->
@@ -252,6 +284,7 @@ let eval_cmd =
             0)
     in
     print_solver_stats solver_stats;
+    emit_tracing trace_json metrics;
     code
   in
   let edb =
@@ -275,7 +308,7 @@ let eval_cmd =
   in
   let term =
     Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
-          $ explain $ stratified $ solver_stats_arg $ jobs_arg)
+          $ explain $ stratified $ solver_stats_arg $ jobs_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
@@ -284,8 +317,9 @@ let eval_cmd =
 let fuzz_cmd =
   let module H = Cql_gen.Harness in
   let module G = Cql_gen.Generate in
-  let run seed count mode inject_bug replay out solver_stats jobs =
+  let run seed count mode inject_bug replay out solver_stats jobs trace_json metrics =
     apply_jobs jobs;
+    apply_tracing trace_json metrics;
     let code =
     match replay with
     | Some path -> (
@@ -339,6 +373,7 @@ let fuzz_cmd =
                 else 1))
     in
     print_solver_stats solver_stats;
+    emit_tracing trace_json metrics;
     code
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed") in
@@ -365,7 +400,7 @@ let fuzz_cmd =
   in
   let term =
     Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg
-          $ jobs_arg)
+          $ jobs_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"

@@ -196,12 +196,19 @@ let project ~keep (c : t) : t =
 
 (* satisfiability via the simplex backend (cross-checked against full
    Fourier-Motzkin elimination by the property tests); projection remains
-   the eliminator's job *)
+   the eliminator's job.  If a solve blows its pivot budget we record the
+   hit and decide by eliminating every variable: the conjunction is
+   satisfiable iff full Fourier-Motzkin projection does not reach ff. *)
 let is_sat c =
   Solver_stats.count_sat_check ();
   if is_ff_syntactic c then false
   else if c == tt then true
-  else Memo.cached sat_memo c.id (fun () -> Simplex.is_sat c.atoms)
+  else
+    Memo.cached sat_memo c.id (fun () ->
+        try Simplex.is_sat c.atoms
+        with Simplex.Pivot_limit _ ->
+          Solver_stats.count_pivot_limit ();
+          not (is_ff_syntactic (project_uncached ~keep:Var.Set.empty c)))
 
 let eval_at env c =
   let rec go = function

@@ -81,47 +81,90 @@ let above_upper t x = match t.upper.(x) with Some u -> Qeps.compare t.beta.(x) u
 let can_increase t x = match t.upper.(x) with Some u -> Qeps.compare t.beta.(x) u < 0 | None -> true
 let can_decrease t x = match t.lower.(x) with Some l -> Qeps.compare t.beta.(x) l > 0 | None -> true
 
-let rec check t =
-  (* Bland's rule: smallest violating basic variable *)
-  let violating =
-    IntMap.fold
-      (fun xb _ acc ->
-        match acc with
-        | Some _ -> acc
-        | None ->
-            if below_lower t xb then Some (xb, `Low)
-            else if above_upper t xb then Some (xb, `High)
-            else None)
-      t.rows None
-  in
-  match violating with
-  | None -> true
-  | Some (xb, dir) ->
-      let row = IntMap.find xb t.rows in
-      let suitable =
-        IntMap.fold
-          (fun xn a acc ->
-            match acc with
-            | Some _ -> acc
-            | None ->
-                let ok =
-                  match dir with
-                  | `Low -> (Rat.sign a > 0 && can_increase t xn) || (Rat.sign a < 0 && can_decrease t xn)
-                  | `High -> (Rat.sign a < 0 && can_increase t xn) || (Rat.sign a > 0 && can_decrease t xn)
-                in
-                if ok then Some xn else None)
-          row None
-      in
-      (match suitable with
-      | None -> false
-      | Some xn ->
-          let target =
-            match dir with
-            | `Low -> Option.get t.lower.(xb)
-            | `High -> Option.get t.upper.(xb)
+(* ----- pivot budget ----- *)
+
+exception Pivot_limit of { pivots : int }
+
+let default_pivot_limit = 200_000
+let pivot_limit = ref default_pivot_limit
+let set_pivot_limit n = pivot_limit := max 1 n
+
+let with_pivot_limit n f =
+  let prev = !pivot_limit in
+  pivot_limit := max 1 n;
+  Fun.protect ~finally:(fun () -> pivot_limit := prev) f
+
+(* how far a violating basic variable is outside its bound *)
+let violation t x = function
+  | `Low -> Qeps.sub (Option.get t.lower.(x)) t.beta.(x)
+  | `High -> Qeps.sub t.beta.(x) (Option.get t.upper.(x))
+
+let suitable_dir dir a t xn =
+  match dir with
+  | `Low -> (Rat.sign a > 0 && can_increase t xn) || (Rat.sign a < 0 && can_decrease t xn)
+  | `High -> (Rat.sign a < 0 && can_increase t xn) || (Rat.sign a > 0 && can_decrease t xn)
+
+(* Pivot selection runs in two regimes.  The first [limit/2] pivots use a
+   largest-violation heuristic (pick the basic variable furthest outside its
+   bounds, enter on the suitable nonbasic with the largest |coefficient|),
+   which converges fastest in practice but — unlike Bland's rule — can cycle
+   on degenerate tableaus.  Past that threshold the solver switches to pure
+   Bland's rule (smallest violating basic index, smallest suitable nonbasic
+   index), which provably terminates.  The hard budget is a backstop for
+   pathological sizes: exhausting it raises {!Pivot_limit} so a caller can
+   fall back to another procedure instead of spinning. *)
+let check t =
+  let limit = !pivot_limit in
+  let bland_after = limit / 2 in
+  let pivots = ref 0 in
+  let rec go () =
+    let bland = !pivots >= bland_after in
+    let violating =
+      IntMap.fold
+        (fun xb _ acc ->
+          let dir =
+            if below_lower t xb then Some `Low
+            else if above_upper t xb then Some `High
+            else None
           in
-          pivot_and_update t xb xn target;
-          check t)
+          match (dir, acc) with
+          | None, _ -> acc
+          | Some d, None -> Some (xb, d)
+          | Some _, Some _ when bland -> acc (* keep the smallest index *)
+          | Some d, Some (xb', d') ->
+              if Qeps.compare (violation t xb d) (violation t xb' d') > 0 then Some (xb, d)
+              else acc)
+        t.rows None
+    in
+    match violating with
+    | None -> true
+    | Some (xb, dir) ->
+        let row = IntMap.find xb t.rows in
+        let suitable =
+          IntMap.fold
+            (fun xn a acc ->
+              if not (suitable_dir dir a t xn) then acc
+              else
+                match acc with
+                | None -> Some (xn, a)
+                | Some _ when bland -> acc (* keep the smallest index *)
+                | Some (_, a') -> if Rat.compare (Rat.abs a) (Rat.abs a') > 0 then Some (xn, a) else acc)
+            row None
+        in
+        (match suitable with
+        | None -> false
+        | Some (xn, _) ->
+            if !pivots >= limit then raise (Pivot_limit { pivots = !pivots });
+            incr pivots;
+            let target =
+              match dir with
+              | `Low -> Option.get t.lower.(xb)
+              | `High -> Option.get t.upper.(xb)
+            in
+            pivot_and_update t xb xn target;
+            go ())
+  in
+  go ()
 
 let build (atoms : Atom.t list) =
   (* index original variables *)

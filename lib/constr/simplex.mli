@@ -23,12 +23,34 @@ module Qeps : sig
   val pp : Format.formatter -> t -> unit
 end
 
+exception Pivot_limit of { pivots : int }
+(** Raised by {!is_sat}/{!solve} when a solve exhausts its pivot budget
+    without reaching a verdict.  The first half of the budget uses a
+    largest-violation heuristic, the second half pure Bland's rule (which
+    cannot cycle), so the exception only fires on genuinely oversized
+    tableaus — callers should fall back to another procedure rather than
+    retry (see {!Conj.is_sat}). *)
+
+val default_pivot_limit : int
+
+val set_pivot_limit : int -> unit
+(** Set the per-solve pivot budget (clamped to at least [1]).  Process-wide;
+    intended for CLI configuration, not for scoped use — see
+    {!with_pivot_limit}. *)
+
+val with_pivot_limit : int -> (unit -> 'a) -> 'a
+(** [with_pivot_limit n f] runs [f] with the budget set to [n], restoring
+    the previous budget afterwards (also on exceptions).  Not domain-safe:
+    the budget is a plain process-global, so scope it outside any parallel
+    region. *)
+
 val is_sat : Atom.t list -> bool
 (** Exact satisfiability of the conjunction of the atoms, over the reals;
     agrees with {!Conj.is_sat} (which uses it as its satisfiability
-    backend). *)
+    backend).  @raise Pivot_limit when the pivot budget is exhausted. *)
 
 val solve : Atom.t list -> (Var.t * Qeps.t) list option
 (** A satisfying assignment (over the extended field; any sufficiently
     small positive ε makes it real-valued), or [None] when unsatisfiable.
-    Variables not mentioned map to zero. *)
+    Variables not mentioned map to zero.
+    @raise Pivot_limit when the pivot budget is exhausted. *)

@@ -1,24 +1,31 @@
-(* Counters are [Atomic.t] so concurrent decision-procedure calls from
-   worker domains during a parallel evaluation round count exactly; the
+(* Counters are registered in the Cql_obs registry, so every traced span
+   automatically carries the delta of each decision-procedure counter over
+   its extent, and `cqlopt --metrics` reports them alongside span timings.
+   The cells are [Atomic.t] underneath: concurrent decision-procedure calls
+   from worker domains during a parallel evaluation round count exactly; the
    sequential cost is one fetch-and-add per counted event. *)
 
-let sat_checks = Atomic.make 0
-let implies_checks = Atomic.make 0
-let implies_atom_checks = Atomic.make 0
-let cset_implies_checks = Atomic.make 0
-let project_calls = Atomic.make 0
-let simplex_runs = Atomic.make 0
-let simplex_pivots = Atomic.make 0
-let fm_eliminations = Atomic.make 0
+module Obs = Cql_obs.Obs
 
-let count_sat_check () = Atomic.incr sat_checks
-let count_implies_check () = Atomic.incr implies_checks
-let count_implies_atom_check () = Atomic.incr implies_atom_checks
-let count_cset_implies_check () = Atomic.incr cset_implies_checks
-let count_project_call () = Atomic.incr project_calls
-let count_simplex_run () = Atomic.incr simplex_runs
-let count_simplex_pivot () = Atomic.incr simplex_pivots
-let count_fm_elimination () = Atomic.incr fm_eliminations
+let sat_checks = Obs.counter "solver.sat_checks"
+let implies_checks = Obs.counter "solver.implies_checks"
+let implies_atom_checks = Obs.counter "solver.implies_atom_checks"
+let cset_implies_checks = Obs.counter "solver.cset_implies_checks"
+let project_calls = Obs.counter "solver.project_calls"
+let simplex_runs = Obs.counter "solver.simplex_runs"
+let simplex_pivots = Obs.counter "solver.simplex_pivots"
+let fm_eliminations = Obs.counter "solver.fm_eliminations"
+let pivot_limit_hits = Obs.counter "solver.pivot_limit_hits"
+
+let count_sat_check () = Obs.incr sat_checks
+let count_implies_check () = Obs.incr implies_checks
+let count_implies_atom_check () = Obs.incr implies_atom_checks
+let count_cset_implies_check () = Obs.incr cset_implies_checks
+let count_project_call () = Obs.incr project_calls
+let count_simplex_run () = Obs.incr simplex_runs
+let count_simplex_pivot () = Obs.incr simplex_pivots
+let count_fm_elimination () = Obs.incr fm_eliminations
+let count_pivot_limit () = Obs.incr pivot_limit_hits
 
 type t = {
   sat_checks : int;
@@ -29,30 +36,33 @@ type t = {
   simplex_runs : int;
   simplex_pivots : int;
   fm_eliminations : int;
+  pivot_limit_hits : int;
   caches : Memo.table_stats list;
 }
 
 let reset () =
-  Atomic.set sat_checks 0;
-  Atomic.set implies_checks 0;
-  Atomic.set implies_atom_checks 0;
-  Atomic.set cset_implies_checks 0;
-  Atomic.set project_calls 0;
-  Atomic.set simplex_runs 0;
-  Atomic.set simplex_pivots 0;
-  Atomic.set fm_eliminations 0;
+  Obs.set sat_checks 0;
+  Obs.set implies_checks 0;
+  Obs.set implies_atom_checks 0;
+  Obs.set cset_implies_checks 0;
+  Obs.set project_calls 0;
+  Obs.set simplex_runs 0;
+  Obs.set simplex_pivots 0;
+  Obs.set fm_eliminations 0;
+  Obs.set pivot_limit_hits 0;
   Memo.reset_stats ()
 
 let snapshot () =
   {
-    sat_checks = Atomic.get sat_checks;
-    implies_checks = Atomic.get implies_checks;
-    implies_atom_checks = Atomic.get implies_atom_checks;
-    cset_implies_checks = Atomic.get cset_implies_checks;
-    project_calls = Atomic.get project_calls;
-    simplex_runs = Atomic.get simplex_runs;
-    simplex_pivots = Atomic.get simplex_pivots;
-    fm_eliminations = Atomic.get fm_eliminations;
+    sat_checks = Obs.value sat_checks;
+    implies_checks = Obs.value implies_checks;
+    implies_atom_checks = Obs.value implies_atom_checks;
+    cset_implies_checks = Obs.value cset_implies_checks;
+    project_calls = Obs.value project_calls;
+    simplex_runs = Obs.value simplex_runs;
+    simplex_pivots = Obs.value simplex_pivots;
+    fm_eliminations = Obs.value fm_eliminations;
+    pivot_limit_hits = Obs.value pivot_limit_hits;
     caches = Memo.stats ();
   }
 
@@ -70,8 +80,9 @@ let pp fmt s =
   Format.fprintf fmt
     "solver: sat_checks=%d implies=%d implies_atom=%d cset_implies=%d project=%d@\n"
     s.sat_checks s.implies_checks s.implies_atom_checks s.cset_implies_checks s.project_calls;
-  Format.fprintf fmt "solver: simplex_runs=%d simplex_pivots=%d fm_eliminations=%d@\n"
-    s.simplex_runs s.simplex_pivots s.fm_eliminations;
+  Format.fprintf fmt
+    "solver: simplex_runs=%d simplex_pivots=%d fm_eliminations=%d pivot_limit_hits=%d@\n"
+    s.simplex_runs s.simplex_pivots s.fm_eliminations s.pivot_limit_hits;
   List.iter
     (fun (c : Memo.table_stats) ->
       Format.fprintf fmt "cache : %-16s hits=%-8d misses=%-8d entries=%-7d hit_rate=%.3f@\n"

@@ -4,7 +4,11 @@
     caching (so cache-on and cache-off runs of the same workload report the
     same [*_checks] numbers), while {!Memo} contributes per-cache hit/miss
     statistics at {!snapshot} time.  Counters are process-global; {!reset}
-    before a workload to attribute numbers to it. *)
+    before a workload to attribute numbers to it.
+
+    The cells are registered in the {!Cql_obs.Obs} counter registry (names
+    prefixed ["solver."]), so traced spans carry their deltas and
+    [cqlopt --metrics] reports them without going through {!snapshot}. *)
 
 (** {1 Increment hooks (used by [Conj], [Cset] and [Simplex])} *)
 
@@ -23,6 +27,11 @@ val count_fm_elimination : unit -> unit
 (** One Fourier–Motzkin variable elimination (the inequality-combination
     branch of {!Conj.eliminate}; equality substitutions are not counted). *)
 
+val count_pivot_limit : unit -> unit
+(** One simplex solve abandoned because it hit its pivot budget
+    ({!Simplex.Pivot_limit}); {!Conj.is_sat} counts these when it falls back
+    to Fourier–Motzkin. *)
+
 (** {1 Snapshots} *)
 
 type t = {
@@ -34,6 +43,7 @@ type t = {
   simplex_runs : int;
   simplex_pivots : int;
   fm_eliminations : int;
+  pivot_limit_hits : int;  (** simplex solves abandoned at the pivot budget *)
   caches : Memo.table_stats list;
 }
 

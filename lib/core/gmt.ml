@@ -401,8 +401,11 @@ let ground_fold_unfold ~adorned (pmg : Program.t) : Program.t =
   { pmg with Program.rules = !rules }
 
 let pipeline ~query_adornment (p : Program.t) : Program.t =
-  let adorned = adorn_bcf ~query_adornment p in
+  let module Obs = Cql_obs.Obs in
+  Obs.span "gmt.pipeline" @@ fun () ->
+  let adorned = Obs.span "gmt.adorn_bcf" (fun () -> adorn_bcf ~query_adornment p) in
   if not (groundable adorned) then
     invalid_arg "Gmt.pipeline: the adorned program is not groundable (Definition 6.1)";
-  let pmg = magic adorned in
-  Magic.inline_seed (ground_fold_unfold ~adorned pmg)
+  let pmg = Obs.span "gmt.magic" (fun () -> magic adorned) in
+  let folded = Obs.span "gmt.fold_unfold" (fun () -> ground_fold_unfold ~adorned pmg) in
+  Obs.span "gmt.inline_seed" (fun () -> Magic.inline_seed folded)

@@ -53,20 +53,27 @@ let gen ?(max_iters = 50) ?(edb_constraints = []) (p : Program.t) : result =
   let rec iterate i =
     if i > max_iters then (i - 1, false)
     else begin
-      let inferred = single_step p current in
-      let changed = ref false in
-      List.iter
-        (fun (pred, c2) ->
-          let c1 = current pred in
-          if not (Cset.implies c2 c1) then begin
-            changed := true;
-            state := StringMap.add pred (Cset.or_ c1 c2) !state
-          end)
-        inferred;
-      if !changed then iterate (i + 1) else (i, true)
+      let changed =
+        Cql_obs.Obs.span "pred.iteration" @@ fun () ->
+        Cql_obs.Obs.add_field "iteration" i;
+        let inferred = single_step p current in
+        let changed = ref false in
+        List.iter
+          (fun (pred, c2) ->
+            let c1 = current pred in
+            if not (Cset.implies c2 c1) then begin
+              changed := true;
+              state := StringMap.add pred (Cset.or_ c1 c2) !state
+            end)
+          inferred;
+        !changed
+      in
+      if changed then iterate (i + 1) else (i, true)
     end
   in
   let iterations, converged = iterate 1 in
+  Cql_obs.Obs.add_field "iterations" iterations;
+  Cql_obs.Obs.add_field_str "converged" (string_of_bool converged);
   let constraints =
     if converged then
       StringMap.bindings !state

@@ -62,20 +62,27 @@ let gen_with ~literal_constraint ?(max_iters = 50) (p : Program.t) : result =
   let rec iterate i =
     if i > max_iters then (i - 1, false)
     else begin
-      let c2 = step () in
-      let changed = ref false in
-      StringMap.iter
-        (fun pred c2p ->
-          let c1 = current pred in
-          if not (Cset.implies c2p c1) then begin
-            changed := true;
-            state := StringMap.add pred (Cset.or_ c1 c2p) !state
-          end)
-        c2;
-      if !changed then iterate (i + 1) else (i, true)
+      let changed =
+        Cql_obs.Obs.span "qrp.iteration" @@ fun () ->
+        Cql_obs.Obs.add_field "iteration" i;
+        let c2 = step () in
+        let changed = ref false in
+        StringMap.iter
+          (fun pred c2p ->
+            let c1 = current pred in
+            if not (Cset.implies c2p c1) then begin
+              changed := true;
+              state := StringMap.add pred (Cset.or_ c1 c2p) !state
+            end)
+          c2;
+        !changed
+      in
+      if changed then iterate (i + 1) else (i, true)
     end
   in
   let iterations, converged = iterate 1 in
+  Cql_obs.Obs.add_field "iterations" iterations;
+  Cql_obs.Obs.add_field_str "converged" (string_of_bool converged);
   let constraints =
     if converged then StringMap.bindings !state
     else List.map (fun d -> (d, Cset.tt)) derived
@@ -104,6 +111,8 @@ let propagate ?(primed_suffix = "'") (res : result) (p : Program.t) : Program.t 
   (* 1+2: definition steps, then unfold the definition of p into the rules
      defining p' *)
   let primed_rules =
+    Cql_obs.Obs.span "qrp.unfold" @@ fun () ->
+    Cql_obs.Obs.add_field "predicates" (List.length to_prime);
     List.concat_map
       (fun (pred, cset) ->
         let primed = primed_name ~suffix:primed_suffix pred in
@@ -136,7 +145,10 @@ let propagate ?(primed_suffix = "'") (res : result) (p : Program.t) : Program.t 
         | None -> r (* fold condition failed: keep the unfolded occurrence *))
       r to_prime
   in
-  let all_rules = List.map fold_all (p.Program.rules @ primed_rules) in
+  let all_rules =
+    Cql_obs.Obs.span "qrp.fold" (fun () ->
+        List.map fold_all (p.Program.rules @ primed_rules))
+  in
   let p' = { p with Program.rules = all_rules } in
   Program.dedup_rules (Program.restrict_reachable p')
 

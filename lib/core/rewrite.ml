@@ -1,4 +1,5 @@
 open Cql_datalog
+module Obs = Cql_obs.Obs
 
 type step =
   | Pred
@@ -20,33 +21,45 @@ let is_adorned (p : Program.t) =
 
 let apply_step ?max_iters ?edb_constraints (p, report) = function
   | Pred ->
-      let p', res = Pred_constraints.gen_prop ?max_iters ?edb_constraints p in
+      let p', res =
+        Obs.span "rewrite.pred_constraints" (fun () ->
+            Pred_constraints.gen_prop ?max_iters ?edb_constraints p)
+      in
       (p', { report with pred_constraints = Some res })
   | Qrp ->
-      let res = Qrp.gen ?max_iters p in
-      let p' = Qrp.propagate res p in
+      let res = Obs.span "rewrite.qrp.gen" (fun () -> Qrp.gen ?max_iters p) in
+      let p' = Obs.span "rewrite.qrp.propagate" (fun () -> Qrp.propagate res p) in
       (p', { report with qrp_constraints = Some res })
   | Magic { adornment; constraint_magic } ->
-      let adorned = if is_adorned p then p else Adorn.program ~query_adornment:adornment p in
-      (Magic.templates_bf ~constraint_magic adorned, report)
-  | Magic_complete -> (Magic.templates_complete p, report)
+      Obs.span "rewrite.magic" (fun () ->
+          let adorned =
+            if is_adorned p then p else Adorn.program ~query_adornment:adornment p
+          in
+          (Magic.templates_bf ~constraint_magic adorned, report))
+  | Magic_complete ->
+      Obs.span "rewrite.magic_complete" (fun () -> (Magic.templates_complete p, report))
 
 let sequence ?max_iters ?edb_constraints steps p =
   List.fold_left (apply_step ?max_iters ?edb_constraints) (p, empty_report) steps
 
 let constraint_rewrite ?max_iters ?edb_constraints (p : Program.t) =
+  Obs.span "rewrite.constraint_rewrite" @@ fun () ->
   let q =
     match p.Program.query with
     | Some q -> q
     | None -> invalid_arg "Rewrite.constraint_rewrite: no query predicate"
   in
+  Obs.add_field "rules" (List.length p.Program.rules);
   (* auxiliary query rule q1(X̄) :- q(X̄) so that q itself gets a QRP
      constraint inferred from its uses (Section 4.5) *)
   let aux_body = Literal.fresh_args q (Program.arity p q) in
   let p1, aux = Program.with_query_rule p [ aux_body ] Cql_constr.Conj.tt in
-  let p2, pres = Pred_constraints.gen_prop ?max_iters ?edb_constraints p1 in
-  let qres = Qrp.gen ?max_iters p2 in
-  let p3 = Qrp.propagate qres p2 in
+  let p2, pres =
+    Obs.span "rewrite.pred_constraints" (fun () ->
+        Pred_constraints.gen_prop ?max_iters ?edb_constraints p1)
+  in
+  let qres = Obs.span "rewrite.qrp.gen" (fun () -> Qrp.gen ?max_iters p2) in
+  let p3 = Obs.span "rewrite.qrp.propagate" (fun () -> Qrp.propagate qres p2) in
   (* delete the auxiliary rules and restore the query predicate's name *)
   let rules =
     List.filter (fun (r : Rule.t) -> r.Rule.head.Literal.pred <> aux) p3.Program.rules
@@ -64,11 +77,11 @@ let constraint_rewrite ?max_iters ?edb_constraints (p : Program.t) =
 let optimal ?max_iters ?edb_constraints ~adornment p =
   let adorned = if is_adorned p then p else Adorn.program ~query_adornment:adornment p in
   let p1, report = constraint_rewrite ?max_iters ?edb_constraints adorned in
-  (Magic.templates_bf ~constraint_magic:true p1, report)
+  (Obs.span "rewrite.magic" (fun () -> Magic.templates_bf ~constraint_magic:true p1), report)
 
 let balbin ?max_iters ~adornment p =
   let adorned = if is_adorned p then p else Adorn.program ~query_adornment:adornment p in
-  let res = Qrp.gen_syntactic ?max_iters adorned in
-  let p1 = Qrp.propagate res adorned in
-  let p2 = Magic.templates_bf ~constraint_magic:true p1 in
+  let res = Obs.span "rewrite.qrp.gen" (fun () -> Qrp.gen_syntactic ?max_iters adorned) in
+  let p1 = Obs.span "rewrite.qrp.propagate" (fun () -> Qrp.propagate res adorned) in
+  let p2 = Obs.span "rewrite.magic" (fun () -> Magic.templates_bf ~constraint_magic:true p1) in
   (p2, { empty_report with qrp_constraints = Some res })

@@ -173,10 +173,34 @@ let init src =
 let parse_error st msg =
   raise (Error (Printf.sprintf "line %d, column %d: %s" st.lx.line st.lx.col msg))
 
-let bump st = st.tok <- next_token st.lx
+let describe_token = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | VAR s -> Printf.sprintf "variable %S" s
+  | NUM q -> Format.asprintf "number %a" Rat.pp q
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | PERIOD -> "'.'"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | IF -> "':-'"
+  | QUERY -> "'?-'"
+  | HASHQUERY -> "'#query'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | OP_LE -> "'<='"
+  | OP_LT -> "'<'"
+  | OP_GE -> "'>='"
+  | OP_GT -> "'>'"
+  | OP_EQ -> "'='"
+  | EOF -> "end of input"
 
-let expect st tok msg =
-  if st.tok = tok then bump st else parse_error st ("expected " ^ msg)
+let parse_error_got st msg =
+  parse_error st (Printf.sprintf "expected %s, got %s" msg (describe_token st.tok))
+
+let bump st = st.tok <- next_token st.lx
+let expect st tok msg = if st.tok = tok then bump st else parse_error_got st msg
 
 (* Variables are scoped per clause: same name = same variable within a
    clause, but clauses are renamed apart from each other. *)
@@ -247,26 +271,22 @@ and parse_factor st ctx =
       expect st RPAREN "')'";
       e
   | IDENT s -> parse_error st (Printf.sprintf "symbolic constant %s in arithmetic expression" s)
-  | _ -> parse_error st "expected an arithmetic expression"
-
-let op_atom op e1 e2 =
-  match op with
-  | OP_LE -> Atom.le e1 e2
-  | OP_LT -> Atom.lt e1 e2
-  | OP_GE -> Atom.ge e1 e2
-  | OP_GT -> Atom.gt e1 e2
-  | OP_EQ -> Atom.eq e1 e2
-  | _ -> assert false
-
-let is_cmp_op = function OP_LE | OP_LT | OP_GE | OP_GT | OP_EQ -> true | _ -> false
+  | _ -> parse_error_got st "an arithmetic expression"
 
 let parse_constraint st ctx =
   let e1 = parse_expr st ctx in
-  let op = st.tok in
-  if not (is_cmp_op op) then parse_error st "expected a comparison operator";
+  let mk =
+    match st.tok with
+    | OP_LE -> Atom.le
+    | OP_LT -> Atom.lt
+    | OP_GE -> Atom.ge
+    | OP_GT -> Atom.gt
+    | OP_EQ -> Atom.eq
+    | _ -> parse_error_got st "a comparison operator (one of <=, <, >=, >, =)"
+  in
   bump st;
   let e2 = parse_expr st ctx in
-  op_atom op e1 e2
+  mk e1 e2
 
 (* a literal argument: symbolic constant, or an expression flattened to a
    variable/constant plus equality constraints *)
@@ -312,7 +332,7 @@ let parse_literal st ctx =
         expect st RPAREN "')'";
         (Literal.make pred (List.rev !args), List.rev !cstrs)
       end
-  | _ -> parse_error st "expected a predicate name"
+  | _ -> parse_error_got st "a predicate name"
 
 (* body := (literal | constraint) list; returns literals and constraints *)
 let parse_body st ctx =
@@ -349,7 +369,7 @@ let parse_clause st =
         | IDENT s ->
             bump st;
             s
-        | _ -> parse_error st "expected a predicate name after #query"
+        | _ -> parse_error_got st "a predicate name after #query"
       in
       expect st PERIOD "'.'";
       Clause_setq name

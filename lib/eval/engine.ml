@@ -3,6 +3,7 @@ open Cql_datalog
 module Store = Cql_store.Store
 module Planner = Cql_store.Planner
 module Pool = Cql_par.Pool
+module Obs = Cql_obs.Obs
 
 module StringMap = Map.Make (String)
 
@@ -348,7 +349,14 @@ let tasks_of_iteration bk jobs rule_plans =
 
 let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced = false)
     (p : Program.t) ~(edb : Fact.t list) =
+  Obs.span "engine.run" @@ fun () ->
   let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
+  if Obs.enabled () then begin
+    Obs.add_field "jobs" jobs;
+    Obs.add_field "rules" (List.length p.Program.rules);
+    Obs.add_field "edb_facts" (List.length edb);
+    Obs.add_field_str "mode" (if seminaive then "seminaive" else "naive")
+  end;
   let bk = if indexed then indexed_backend () else seed_backend () in
   let budget = { deriv_left = (match max_derivations with Some n -> n | None -> max_int) } in
   let provenance = ref FactMap.empty in
@@ -397,6 +405,12 @@ let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced
   let iterations = ref 0 in
   let fixpoint = ref false in
   let result () =
+    if Obs.enabled () then begin
+      Obs.add_field "iterations" !iterations;
+      Obs.add_field "derivations" !derivations;
+      Obs.add_field "facts_added" !facts_added;
+      Obs.add_field_str "fixpoint" (string_of_bool !fixpoint)
+    end;
     let index_probes, index_hits, facts_skipped, subsumptions_avoided = bk.bk_stats () in
     {
       facts = bk.bk_snapshot ();
@@ -445,6 +459,7 @@ let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced
             ~finally:(fun () -> bk.bk_thaw ())
             (fun () ->
               let tasks = tasks_of_iteration bk jobs rule_plans in
+              Obs.add_field "tasks" (Array.length tasks);
               Pool.map pool (run_task bk) tasks)
         in
         List.concat (Array.to_list outs)
@@ -462,20 +477,33 @@ let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced
               raise Exit
           | _ -> ());
           iterations := iter;
-          bk.bk_advance ();
-          let produced = produce () in
-          let any_added = ref false in
-          List.iter
-            (fun (label, f, used) ->
-              let subsumed = bk.bk_known f in
-              record iter label f subsumed;
-              if not subsumed then begin
-                add_fact iter f;
-                remember label f used;
-                any_added := true
-              end)
-            produced;
-          if not !any_added then begin
+          let any_added =
+            Obs.span "engine.iteration" @@ fun () ->
+            Obs.add_field "iteration" iter;
+            bk.bk_advance ();
+            let produced = produce () in
+            let added = ref 0 and subsumed_hits = ref 0 in
+            (* [record] may raise Budget_exhausted mid-merge; the span still
+               records (with the fields attached so far) and re-raises *)
+            List.iter
+              (fun (label, f, used) ->
+                let subsumed = bk.bk_known f in
+                if subsumed then incr subsumed_hits;
+                record iter label f subsumed;
+                if not subsumed then begin
+                  add_fact iter f;
+                  remember label f used;
+                  incr added
+                end)
+              produced;
+            if Obs.enabled () then begin
+              Obs.add_field "produced" (List.length produced);
+              Obs.add_field "delta_added" !added;
+              Obs.add_field "subsumption_hits" !subsumed_hits
+            end;
+            !added > 0
+          in
+          if not any_added then begin
             fixpoint := true;
             continue_ := false
           end
@@ -496,11 +524,13 @@ let run_naive ?(indexed = true) ?jobs ?max_iterations ?max_derivations p ~edb =
    earlier facts as input.  Same fixpoint; each stratum's rules only ever
    see fully-computed lower strata, so no wasted re-derivation across strata. *)
 let run_stratified ?(indexed = true) ?jobs ?max_iterations ?max_derivations (p : Program.t) ~edb =
+  Obs.span "engine.run_stratified" @@ fun () ->
   let g = Depgraph.of_program p in
   let derived = Program.derived p in
   let sccs =
     List.filter (fun scc -> List.exists (fun x -> List.mem x derived) scc) (Depgraph.sccs g)
   in
+  Obs.add_field "strata" (List.length sccs);
   let deriv_budget = ref (match max_derivations with Some n -> n | None -> max_int) in
   let facts = ref edb in
   let derivations = ref 0 and facts_added = ref 0 and iterations = ref 0 in

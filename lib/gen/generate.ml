@@ -217,9 +217,11 @@ let gen_edb rng cfg p edb_sigs =
                     s.types))))
     edb_sigs
 
-let case rng cfg =
+exception Exhausted of { attempts : int }
+
+let case ?(attempts = 20) rng cfg =
   let rec attempt n =
-    if n = 0 then failwith "Generate.case: could not build a well-formed program";
+    if n = 0 then raise (Exhausted { attempts });
     let p, edb_sigs = gen_program rng cfg in
     match Program.check p with
     | Ok ()
@@ -228,6 +230,6 @@ let case rng cfg =
         (p, gen_edb rng cfg p edb_sigs)
     | _ -> attempt (n - 1)
   in
-  attempt 20
+  attempt (max 1 attempts)
 
-let program rng cfg = fst (case rng cfg)
+let program ?attempts rng cfg = fst (case ?attempts rng cfg)

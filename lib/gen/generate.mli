@@ -43,11 +43,21 @@ type config = {
 
 val default : mode -> config
 
-val case : Rng.t -> config -> Program.t * Cql_eval.Fact.t list
+exception Exhausted of { attempts : int }
+(** {!case} draws candidate programs and keeps only those passing the
+    well-formedness filters; [Exhausted] is raised when a run of [attempts]
+    consecutive candidates all failed (possible for tight configs, e.g.
+    [Decidable] mode with [max_constraint_atoms] large relative to arity).
+    Callers with a seed stream should retry with a fresh split — see
+    {!Harness.run}. *)
+
+val case : ?attempts:int -> Rng.t -> config -> Program.t * Cql_eval.Fact.t list
 (** A random (program, EDB) pair.  The program has a query predicate set,
     passes {!Program.check} and {!Program.is_range_restricted}; the EDB
     facts are ground, one batch per database predicate occurring in the
-    program.  In [Decidable] mode the program is in the Theorem 5.1 class. *)
+    program.  In [Decidable] mode the program is in the Theorem 5.1 class.
+    @raise Exhausted after [attempts] (default 20, clamped to at least 1)
+    failed draws. *)
 
-val program : Rng.t -> config -> Program.t
-(** Just the program part of {!case}. *)
+val program : ?attempts:int -> Rng.t -> config -> Program.t
+(** Just the program part of {!case}.  @raise Exhausted as {!case}. *)

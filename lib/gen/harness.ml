@@ -47,6 +47,7 @@ type stats = {
   mutable rewrites_skipped : int;
   mutable runs_truncated : int;
   mutable facts_derived : int;
+  mutable gen_retries : int;
 }
 
 let new_stats () =
@@ -57,6 +58,7 @@ let new_stats () =
     rewrites_skipped = 0;
     runs_truncated = 0;
     facts_derived = 0;
+    gen_retries = 0;
   }
 
 (* ----- fact-set comparison ----- *)
@@ -516,13 +518,26 @@ let run ?tamper ?config ?max_iterations ?max_derivations ?max_iters ~seed ~count
   let config = match config with Some c -> c | None -> Generate.default Generate.Decidable in
   let rng = Rng.create seed in
   let st = new_stats () in
+  (* Tight configs can exhaust Generate.case's rejection sampling; retry
+     with the next substream instead of dying, but bound the retries so a
+     config that can never produce a program still terminates. *)
+  let generate () =
+    let rec draw retries_left =
+      let case_rng = Rng.split rng in
+      match Generate.case case_rng config with
+      | case -> case
+      | exception Generate.Exhausted _ when retries_left > 0 ->
+          st.gen_retries <- st.gen_retries + 1;
+          draw (retries_left - 1)
+    in
+    draw 10
+  in
   let rec go i =
     if i >= count then None
     else
       (* each case gets its own substream so a change in how one case is
          consumed does not shift every later case *)
-      let case_rng = Rng.split rng in
-      let p, edb = Generate.case case_rng config in
+      let p, edb = generate () in
       match
         check_case ?tamper ?max_iterations ?max_derivations ?max_iters ~mode:config.Generate.mode
           st p edb
@@ -602,8 +617,8 @@ let pp_summary fmt (s : summary) =
   let st = s.stats in
   Format.fprintf fmt
     "fuzz: seed=%d cases=%d evaluated=%d oracle_checks=%d skipped_rewrites=%d \
-     truncated_runs=%d mean_idb_facts=%.1f@."
-    s.seed st.cases st.evaluated st.checks st.rewrites_skipped st.runs_truncated
+     truncated_runs=%d gen_retries=%d mean_idb_facts=%.1f@."
+    s.seed st.cases st.evaluated st.checks st.rewrites_skipped st.runs_truncated st.gen_retries
     (if st.evaluated = 0 then 0.0
      else float_of_int st.facts_derived /. float_of_int st.evaluated);
   match s.failure with

@@ -58,6 +58,9 @@ type stats = {
       (** pipelines not applicable to a case (e.g. non-groundable GMT) *)
   mutable runs_truncated : int;  (** evaluations stopped by a budget *)
   mutable facts_derived : int;  (** IDB facts over all original runs *)
+  mutable gen_retries : int;
+      (** {!Generate.Exhausted} recoveries: generation retried on a fresh
+          RNG substream *)
 }
 
 val new_stats : unit -> stats
@@ -112,7 +115,9 @@ val run :
   summary
 (** Generate and check [count] cases from the given seed, stopping at (and
     shrinking) the first failure.  [config] defaults to
-    [Generate.default Decidable]. *)
+    [Generate.default Decidable].  When a case's generation raises
+    {!Generate.Exhausted} the harness retries on the next RNG substream
+    (counted in [stats.gen_retries], bounded per case). *)
 
 val replay : Program.t -> Cql_eval.Fact.t list -> failure option
 (** Re-check a single case (e.g. a parsed counterexample); the mode is

@@ -1,0 +1,38 @@
+/* Monotonic clock for the tracing subsystem.
+ *
+ * CLOCK_MONOTONIC never jumps backwards under NTP slews or wall-clock
+ * adjustments, which is what span durations need; the OCaml stdlib only
+ * exposes wall time (Unix.gettimeofday) and CPU time (Sys.time), so this
+ * one-function stub keeps lib/obs dependency-free. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value caml_obs_monotonic_ns(value unit)
+{
+    LARGE_INTEGER freq, now;
+    QueryPerformanceFrequency(&freq);
+    QueryPerformanceCounter(&now);
+    return caml_copy_int64(
+        (int64_t)((double)now.QuadPart * 1e9 / (double)freq.QuadPart));
+}
+
+#else
+#include <time.h>
+
+CAMLprim value caml_obs_monotonic_ns(value unit)
+{
+    struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+    clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 +
+                           (int64_t)ts.tv_nsec);
+}
+
+#endif

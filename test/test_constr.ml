@@ -480,6 +480,45 @@ let test_simplex_units () =
       check_bool "x < y in the model" true
         (Simplex.Qeps.compare (value x) (value y) < 0)
 
+let test_pivot_limit () =
+  (* needs one pivot per lower-bounded variable: 2 pivots total, so a
+     budget of 1 must trip *)
+  let atoms = [ Atom.ge vx (n 1); Atom.ge vy (n 1); Atom.le (Linexpr.add vx vy) (n 10) ] in
+  check_bool "fits under the default budget" true (Simplex.is_sat atoms);
+  (match Simplex.with_pivot_limit 1 (fun () -> Simplex.is_sat atoms) with
+  | exception Simplex.Pivot_limit { pivots } ->
+      check_int "budget spent when raising" 1 pivots
+  | _ -> Alcotest.fail "expected Pivot_limit");
+  (* the limit is restored on the way out *)
+  check_bool "limit restored after with_pivot_limit" true (Simplex.is_sat atoms);
+  (* single-pivot systems still decide under budget 1 *)
+  check_bool "one pivot fits in budget 1" true
+    (Simplex.with_pivot_limit 1 (fun () -> Simplex.is_sat [ Atom.ge vx (n 1) ]))
+
+let test_pivot_limit_fm_fallback () =
+  Memo.clear_all ();
+  Solver_stats.reset ();
+  (* fresh conjunctions (constants unused elsewhere) so the sat memo can't
+     already hold an answer computed without the tiny budget *)
+  let sat_c =
+    conj [ Atom.ge vx (n 101); Atom.ge vy (n 102); Atom.le (Linexpr.add vx vy) (n 1000) ]
+  in
+  let unsat_c =
+    conj [ Atom.ge vx (n 103); Atom.ge vy (n 104); Atom.le (Linexpr.add vx vy) (n 5) ]
+  in
+  let r_sat, r_unsat =
+    Simplex.with_pivot_limit 1 (fun () -> (Conj.is_sat sat_c, Conj.is_sat unsat_c))
+  in
+  check_bool "FM fallback: sat" true r_sat;
+  check_bool "FM fallback: unsat" false r_unsat;
+  let s = Solver_stats.snapshot () in
+  check_int "both limit hits counted" 2 s.Solver_stats.pivot_limit_hits;
+  (* the fallback answers were memoized like any other *)
+  check_bool "memoized sat answer" true (Conj.is_sat sat_c);
+  check_bool "memoized unsat answer" false (Conj.is_sat unsat_c);
+  check_int "memo hits add no further limit hits" 2
+    (Solver_stats.snapshot ()).Solver_stats.pivot_limit_hits
+
 let test_qeps_order () =
   let open Simplex.Qeps in
   let one = of_rat Q.one in
@@ -647,6 +686,9 @@ let () =
       ( "simplex",
         [
           Alcotest.test_case "units" `Quick test_simplex_units;
+          Alcotest.test_case "pivot limit" `Quick test_pivot_limit;
+          Alcotest.test_case "pivot limit FM fallback" `Quick
+            test_pivot_limit_fm_fallback;
           Alcotest.test_case "qeps ordering" `Quick test_qeps_order;
         ] );
       ( "memo",

@@ -146,6 +146,44 @@ let test_parse_errors () =
   check_bool "nonlinear" true (fails "p(X) :- b(X), X * X <= 4.");
   check_bool "bad char" true (fails "p(X) @ b(X).")
 
+(* error messages name the offending token and carry a position; these are
+   regression tests for the old [assert false] paths *)
+let test_parse_error_messages () =
+  let msg_of s =
+    match Parser.program_of_string s with
+    | exception Parser.Error m -> m
+    | _ -> Alcotest.fail ("expected a parse error for: " ^ s)
+  in
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  let check_msg label src needles =
+    let m = msg_of src in
+    check_bool (label ^ ": positioned") true (contains m "line 1, column");
+    List.iter
+      (fun needle ->
+        check_bool
+          (Printf.sprintf "%s: %S mentions %S" label m needle)
+          true (contains m needle))
+      needles
+  in
+  (* a number where a comparison operator belongs: names both sides *)
+  check_msg "missing operator" "p(X) :- q(X), X + 1 5."
+    [ "expected a comparison operator"; "number 5" ];
+  (* bare variable as a body literal ends at '.' *)
+  check_msg "bare variable" "p(X) :- q(X), X." [ "expected"; "'.'" ];
+  (* EOF is described in words, not as a token dump *)
+  check_msg "eof" "p(X) :- q(X)" [ "end of input" ];
+  (* the offending identifier is quoted *)
+  check_msg "ident in arithmetic" "p(X) :- q(X), X <= abc."
+    [ "symbolic constant abc" ];
+  (* directives check their argument shape *)
+  check_msg "bad #query" "#query 5." [ "predicate name"; "number 5" ]
+
 let test_pp_roundtrip () =
   let p = Parser.program_of_string flights_src in
   let p2 = Parser.program_of_string (Program.to_string p) in
@@ -346,6 +384,7 @@ let () =
           Alcotest.test_case "constraint facts" `Quick test_parse_constraint_fact;
           Alcotest.test_case "numbers" `Quick test_parse_numbers;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error messages" `Quick test_parse_error_messages;
           Alcotest.test_case "pp roundtrip" `Quick test_pp_roundtrip;
           Alcotest.test_case "pp roundtrip examples" `Quick test_pp_roundtrip_examples;
         ] );

@@ -432,6 +432,67 @@ base(X) :- e(X).
   let r3 = Engine.run_stratified ~max_derivations:5 p ~edb in
   check_bool "budget stops" false (Engine.stats r3).Engine.reached_fixpoint
 
+(* the derivation budget carries over between sub-runs: each stratum's
+   fixpoint starts from whatever the previous strata left.  The program has
+   two single-predicate strata of exactly five derivations each, so the
+   interesting budgets sit right on the boundary. *)
+
+let budget_carry_src = {|
+b(X) :- e(X).
+a(X) :- b(X).
+#query a.
+|}
+
+let budget_carry_edb = "e(1). e(2). e(3). e(4). e(5)."
+
+let test_stratified_budget_boundary () =
+  let p = parse budget_carry_src in
+  let edb = edb_of budget_carry_edb in
+  (* budget 5: exhausted exactly at the end of the first stratum.  The
+     budgeted fifth derivation is counted but its fact is not added, and the
+     second stratum is entered with nothing left, so it derives nothing. *)
+  let r = Engine.run_stratified ~max_derivations:5 p ~edb in
+  check_int "derivations stop at the budget" 5 (Engine.stats r).Engine.derivations;
+  check_bool "not a fixpoint" false (Engine.stats r).Engine.reached_fixpoint;
+  check_int "first stratum truncated" 4 (List.length (Engine.facts_of r "b"));
+  check_int "second stratum starved" 0 (List.length (Engine.facts_of r "a"));
+  (* budget 10: the first stratum completes (5 of 10), the second exhausts
+     the remainder mid-run *)
+  let r = Engine.run_stratified ~max_derivations:10 p ~edb in
+  check_int "carry-over spent exactly" 10 (Engine.stats r).Engine.derivations;
+  check_bool "still not a fixpoint" false (Engine.stats r).Engine.reached_fixpoint;
+  check_int "first stratum complete" 5 (List.length (Engine.facts_of r "b"));
+  check_int "second stratum truncated" 4 (List.length (Engine.facts_of r "a"));
+  (* one more derivation of headroom and the whole program completes *)
+  let r = Engine.run_stratified ~max_derivations:11 p ~edb in
+  check_bool "fixpoint under budget 11" true (Engine.stats r).Engine.reached_fixpoint;
+  check_int "all derivations performed" 10 (Engine.stats r).Engine.derivations;
+  check_int "second stratum complete" 5 (List.length (Engine.facts_of r "a"));
+  (* unbounded agrees with the generous budget *)
+  let r' = Engine.run_stratified p ~edb in
+  check_bool "unbounded fixpoint" true (Engine.stats r').Engine.reached_fixpoint;
+  check_int "unbounded derivations" 10 (Engine.stats r').Engine.derivations
+
+let test_stratified_budget_jobs_agree () =
+  (* truncation point is deterministic and identical across worker counts *)
+  let p = parse budget_carry_src in
+  let edb = edb_of budget_carry_edb in
+  let r1 = Engine.run_stratified ~jobs:1 ~max_derivations:7 p ~edb in
+  let r4 = Engine.run_stratified ~jobs:4 ~max_derivations:7 p ~edb in
+  check_int "same derivations" (Engine.stats r1).Engine.derivations
+    (Engine.stats r4).Engine.derivations;
+  check_bool "same fixpoint flag"
+    (Engine.stats r1).Engine.reached_fixpoint
+    (Engine.stats r4).Engine.reached_fixpoint;
+  List.iter
+    (fun pred ->
+      check_int (pred ^ " counts agree")
+        (List.length (Engine.facts_of r1 pred))
+        (List.length (Engine.facts_of r4 pred)))
+    [ "b"; "a" ];
+  check_int "budget 7 truncates the second stratum" 1
+    (List.length (Engine.facts_of r1 "a"))
+
 let () =
   Alcotest.run "eval"
     [
@@ -450,6 +511,10 @@ let () =
           Alcotest.test_case "matches_literal" `Quick test_matches_literal;
           Alcotest.test_case "stratified same results" `Quick test_stratified_same_results;
           Alcotest.test_case "stratified multi-SCC" `Quick test_stratified_multi_scc;
+          Alcotest.test_case "stratified budget boundary" `Quick
+            test_stratified_budget_boundary;
+          Alcotest.test_case "stratified budget jobs agree" `Quick
+            test_stratified_budget_jobs_agree;
         ] );
       ( "engine-extra",
         [

@@ -94,6 +94,42 @@ let test_injected_bug_caught () =
            f.H.edb
         <> None)
 
+(* ----- generator exhaustion is typed and recoverable ----- *)
+
+let test_generate_exhausted () =
+  (* seed 8 under the linear default deterministically produces an invalid
+     draw, so a budget of one attempt must raise the typed exception ... *)
+  (match G.case ~attempts:1 (Rng.create 8) (G.default G.Linear) with
+  | exception G.Exhausted { attempts } -> check_int "attempts reported" 1 attempts
+  | _ -> Alcotest.fail "expected Exhausted at attempts:1");
+  (* ... while the default budget retries within the same stream and
+     succeeds on that very seed *)
+  let p, _ = G.case (Rng.create 8) (G.default G.Linear) in
+  check_bool "default budget recovers" true (Program.check p = Ok ());
+  match G.program ~attempts:1 (Rng.create 8) (G.default G.Linear) with
+  | exception G.Exhausted _ -> ()
+  | _ -> Alcotest.fail "program shares case's budget"
+
+let test_exhausted_reseed_retry () =
+  (* the harness's recovery discipline: on Exhausted, draw again from the
+     next split substream.  Parent seed 0's first substream exhausts at
+     attempts:1 and the next one succeeds, so one retry must do it. *)
+  let rng = Rng.create 0 in
+  let retries = ref 0 in
+  let rec draw retries_left =
+    let sub = Rng.split rng in
+    match G.case ~attempts:1 sub (G.default G.Linear) with
+    | case -> case
+    | exception G.Exhausted _ when retries_left > 0 ->
+        incr retries;
+        draw (retries_left - 1)
+  in
+  let p, _ = draw 10 in
+  check_int "recovered after one reseed" 1 !retries;
+  check_bool "recovered case is well-formed" true (Program.check p = Ok ());
+  (* the harness counts those retries; a fresh stats record starts clean *)
+  check_int "fresh stats start at zero retries" 0 (H.new_stats ()).H.gen_retries
+
 (* ----- counterexample round-trip ----- *)
 
 let test_counterexample_roundtrip () =
@@ -124,6 +160,8 @@ let () =
           Alcotest.test_case "decidable mode, oracles pass" `Quick test_oracles_decidable;
           Alcotest.test_case "linear mode, oracles pass" `Quick test_oracles_linear;
           Alcotest.test_case "injected bug caught and shrunk" `Quick test_injected_bug_caught;
+          Alcotest.test_case "typed generator exhaustion" `Quick test_generate_exhausted;
+          Alcotest.test_case "reseeded retry recovers" `Quick test_exhausted_reseed_retry;
           Alcotest.test_case "counterexample round-trip" `Quick test_counterexample_roundtrip;
         ] );
     ]
