@@ -615,6 +615,43 @@ let run_parallel () =
         (secs *. 1000.) speedup same)
     (parallel_rows ())
 
+(* ----- serving (lib/serve): cqlserved under concurrent load ----- *)
+
+let serve_clients = 4
+let serve_requests_per_client = 15
+
+(* in-process server + the cqlopt bench serve load generator: answers are
+   checked against one-shot evaluation, so this doubles as an end-to-end
+   correctness run *)
+let serve_result () =
+  let module S = Cql_serve in
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cql-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let t = S.Server.start (S.Server.default_config ~socket_path:socket) in
+  let r =
+    S.Loadgen.run ~socket ~clients:serve_clients
+      ~requests_per_client:serve_requests_per_client ()
+  in
+  S.Server.stop t;
+  S.Server.wait t;
+  r
+
+let run_serve () =
+  let module S = Cql_serve in
+  header "SERVE: cqlserved under concurrent load (plan cache + admission)";
+  paper "(no paper counterpart -- the persistent multi-tenant query service)";
+  match serve_result () with
+  | Error msg -> measured "FAILED: %s" msg
+  | Ok r ->
+      measured "clients=%d requests=%d ok=%d errors=%d cache_hits=%d answers_match=%b"
+        r.S.Loadgen.clients r.S.Loadgen.total_requests r.S.Loadgen.ok r.S.Loadgen.errors
+        r.S.Loadgen.cache_hits r.S.Loadgen.answers_match;
+      measured "p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms throughput=%.1f req/s"
+        r.S.Loadgen.p50_ms r.S.Loadgen.p95_ms r.S.Loadgen.p99_ms r.S.Loadgen.max_ms
+        r.S.Loadgen.throughput_rps
+
 (* ----- Bechamel timings ----- *)
 
 let timing_tests () =
@@ -973,6 +1010,14 @@ let json_parallel () =
              rows) );
     ]
 
+(* cqlserved under concurrent load; the loadgen payload embeds via [Raw]
+   since Loadgen.to_json prints through lib/serve's own JSON type *)
+let json_serve () =
+  let module S = Cql_serve in
+  match serve_result () with
+  | Error msg -> Obj [ ("error", Str msg) ]
+  | Ok r -> Raw (S.Json.to_string (S.Loadgen.to_json r))
+
 let run_json () =
   let timings =
     List.map
@@ -1000,6 +1045,7 @@ let run_json () =
               ("solver_cache", Obj (json_solver_cache ()));
               ("trace", Obj (json_trace ()));
               ("parallel", json_parallel ());
+              ("serve", json_serve ());
             ] );
         ("timings", List timings);
       ]
@@ -1034,6 +1080,7 @@ let experiments =
     ("bound", run_bound);
     ("fuzz", run_fuzz);
     ("parallel", run_parallel);
+    ("serve", run_serve);
     ("time", run_timings);
     ("json", run_json);
   ]

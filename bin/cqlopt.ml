@@ -4,7 +4,9 @@
      analyze  - infer predicate constraints and QRP constraints
      rewrite  - apply a transformation pipeline and print the program
      eval     - bottom-up evaluation of a program against an EDB file
-     fuzz     - differential fuzzing of every pipeline against oracles *)
+     fuzz     - differential fuzzing of every pipeline against oracles
+     client   - send one request to a running cqlserved daemon
+     bench    - service benchmarks (bench serve drives a daemon under load) *)
 
 open Cql_datalog
 open Cql_core
@@ -407,7 +409,265 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: generated programs through every pipeline and oracle")
     term
 
+(* ----- client (cqlserved) ----- *)
+
+let socket_arg =
+  Arg.(value & opt string "cqlserved.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket of the cqlserved daemon")
+
+let client_cmd =
+  let module S = Cql_serve in
+  let run socket path edb_path tenant pipeline max_iterations max_derivations op raw =
+    let fail msg =
+      prerr_endline msg;
+      1
+    in
+    let print_response j =
+      if raw then print_endline (S.Json.to_string j)
+      else if S.Client.is_ok j then begin
+        (match Option.bind (S.Json.member "cache" j) S.Json.to_str with
+        | Some c -> Printf.eprintf "cache=%s\n%!" c
+        | None -> ());
+        List.iter print_endline (S.Client.answers j)
+      end
+      else
+        Printf.eprintf "error (%s): %s\n"
+          (Option.value (S.Client.error_kind j) ~default:"?")
+          (Option.value (S.Client.error_message j) ~default:"");
+      if S.Client.is_ok j then 0 else 1
+    in
+    match S.Client.connect socket with
+    | Error msg -> fail msg
+    | Ok client ->
+        let code =
+          Fun.protect
+            ~finally:(fun () -> S.Client.close client)
+            (fun () ->
+              let response =
+                match op with
+                | "ping" -> S.Client.ping client
+                | "stats" -> S.Client.stats client
+                | "eval" -> (
+                    match path with
+                    | None -> Error "eval needs a PROGRAM file argument"
+                    | Some path -> (
+                        match read_file path with
+                        | Error msg -> Error msg
+                        | Ok program -> (
+                            let edb =
+                              match edb_path with None -> Ok "" | Some p -> read_file p
+                            in
+                            match edb with
+                            | Error msg -> Error msg
+                            | Ok edb ->
+                                let opt n = if n = 0 then None else Some n in
+                                S.Client.eval client ~tenant ~edb ~pipeline
+                                  ?max_iterations:(opt max_iterations)
+                                  ?max_derivations:(opt max_derivations) ~program ())))
+                | other -> Error (Printf.sprintf "unknown op %S (use eval, ping, stats)" other)
+              in
+              match response with Error msg -> fail msg | Ok j -> print_response j)
+        in
+        code
+  in
+  let program =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"PROGRAM"
+           ~doc:"CQL program file to evaluate (required for --op eval)")
+  in
+  let edb =
+    Arg.(value & opt (some file) None & info [ "edb" ] ~docv:"FILE" ~doc:"EDB facts file")
+  in
+  let tenant =
+    Arg.(value & opt string "cli" & info [ "tenant" ] ~docv:"NAME"
+           ~doc:"Tenant name for admission control and per-tenant counters")
+  in
+  let pipeline =
+    Arg.(value & opt string "pred,qrp" & info [ "pipeline" ] ~docv:"P"
+           ~doc:"Server-side rewrite pipeline: none, pred,qrp or optimal")
+  in
+  let max_iterations =
+    Arg.(value & opt int 0 & info [ "max-iterations" ] ~docv:"N"
+           ~doc:"Iteration budget to request (0 = server default)")
+  in
+  let max_derivations =
+    Arg.(value & opt int 0 & info [ "max-derivations" ] ~docv:"N"
+           ~doc:"Derivation budget to request (0 = server default)")
+  in
+  let op =
+    Arg.(value & opt string "eval" & info [ "op" ] ~docv:"OP"
+           ~doc:"Request to send: eval, ping or stats")
+  in
+  let raw =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON response instead of answers")
+  in
+  let term =
+    Term.(const run $ socket_arg $ program $ edb $ tenant $ pipeline $ max_iterations
+          $ max_derivations $ op $ raw)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running cqlserved daemon and print the answers")
+    term
+
+(* ----- bench serve ----- *)
+
+(* merge [experiments.<key>] into an existing BENCH_results.json (or start a
+   fresh document), leaving every other experiment in place *)
+let merge_bench_file path key payload =
+  let module J = Cql_serve.Json in
+  let upsert k v kvs =
+    if List.mem_assoc k kvs then
+      List.map (fun (k', v') -> if String.equal k' k then (k, v) else (k', v')) kvs
+    else kvs @ [ (k, v) ]
+  in
+  let existing =
+    if Sys.file_exists path then
+      match read_file path with
+      | Ok src -> ( match J.parse src with Ok (J.Obj kvs) -> kvs | _ -> [])
+      | Error _ -> []
+    else []
+  in
+  let existing =
+    if existing = [] then [ ("schema", J.Str "cqlopt-bench-1") ] else existing
+  in
+  let experiments =
+    match List.assoc_opt "experiments" existing with Some (J.Obj kvs) -> kvs | _ -> []
+  in
+  let doc = upsert "experiments" (J.Obj (upsert key payload experiments)) existing in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (J.Obj doc));
+      output_char oc '\n')
+
+let bench_serve_cmd =
+  let module S = Cql_serve in
+  let run socket clients requests workers daemon daemon_trace out =
+    let socket =
+      if socket = "" then
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "cqlserved-bench-%d.sock" (Unix.getpid ()))
+      else socket
+    in
+    (* the daemon: an explicit path, '-' for in-process, or (default) the
+       cqlserved built next to this executable, else in-process *)
+    let exe_dir = Filename.dirname Sys.executable_name in
+    let daemon_path =
+      match daemon with
+      | "-" -> None
+      | "" ->
+          List.find_opt Sys.file_exists
+            [ Filename.concat exe_dir "cqlserved.exe"; Filename.concat exe_dir "cqlserved" ]
+      | path -> Some path
+    in
+    let daemon_desc, stop_daemon =
+      match daemon_path with
+      | Some path ->
+          let argv = [ path; "--socket"; socket; "--workers"; string_of_int workers ] in
+          let argv =
+            match daemon_trace with
+            | None -> argv
+            | Some f -> argv @ [ "--trace-json"; f ]
+          in
+          let pid =
+            Unix.create_process path (Array.of_list argv) Unix.stdin Unix.stderr Unix.stderr
+          in
+          ( Printf.sprintf "spawned %s (pid %d)" path pid,
+            fun () ->
+              (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+              match Unix.waitpid [] pid with
+              | _, Unix.WEXITED 0 -> true
+              | _ -> false )
+      | None ->
+          if daemon_trace <> None then Cql_obs.Obs.set_enabled true;
+          let t = S.Server.start { (S.Server.default_config ~socket_path:socket) with workers } in
+          ( "in-process",
+            fun () ->
+              S.Server.stop t;
+              S.Server.wait t;
+              (match daemon_trace with
+              | None -> ()
+              | Some f ->
+                  let oc = open_out f in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> Cql_obs.Obs.write_ndjson oc));
+              true )
+    in
+    Printf.eprintf "bench serve: daemon %s, socket %s\n%!" daemon_desc socket;
+    match S.Loadgen.run ~socket ~clients ~requests_per_client:requests () with
+    | Error msg ->
+        ignore (stop_daemon ());
+        prerr_endline ("bench serve: " ^ msg);
+        1
+    | Ok r ->
+        let clean = stop_daemon () in
+        Printf.printf
+          "clients=%d requests=%d ok=%d errors=%d cache_hits=%d answers_match=%b\n"
+          r.S.Loadgen.clients r.S.Loadgen.total_requests r.S.Loadgen.ok r.S.Loadgen.errors
+          r.S.Loadgen.cache_hits r.S.Loadgen.answers_match;
+        Printf.printf "p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms max=%.2fms\n"
+          r.S.Loadgen.p50_ms r.S.Loadgen.p95_ms r.S.Loadgen.p99_ms r.S.Loadgen.mean_ms
+          r.S.Loadgen.max_ms;
+        Printf.printf "throughput=%.1f req/s over %.2fs; clean_daemon_exit=%b\n"
+          r.S.Loadgen.throughput_rps r.S.Loadgen.wall_s clean;
+        let payload =
+          match S.Loadgen.to_json r with
+          | S.Json.Obj kvs ->
+              S.Json.Obj
+                (kvs
+                @ [
+                    ( "daemon",
+                      S.Json.Str (if daemon_path = None then "in-process" else "spawned") );
+                    ("clean_daemon_exit", S.Json.Bool clean);
+                  ])
+          | j -> j
+        in
+        merge_bench_file out "serve" payload;
+        Printf.printf "merged experiments.serve into %s\n" out;
+        if r.S.Loadgen.errors = 0 && r.S.Loadgen.answers_match && clean then 0 else 1
+  in
+  let socket =
+    Arg.(value & opt string "" & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Socket path for the run (default: a fresh path under \\$TMPDIR)")
+  in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client domains")
+  in
+  let requests =
+    Arg.(value & opt int 25 & info [ "requests" ] ~docv:"M" ~doc:"Requests per client")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker domains")
+  in
+  let daemon =
+    Arg.(value & opt string "" & info [ "daemon" ] ~docv:"PATH"
+           ~doc:"cqlserved executable to spawn (default: the one next to cqlopt; \
+                 '-' = run the server in-process)")
+  in
+  let daemon_trace =
+    Arg.(value & opt (some string) None & info [ "daemon-trace" ] ~docv:"FILE"
+           ~doc:"Have the daemon write its per-request NDJSON trace to $(docv) on exit")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_results.json" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Benchmark results file to merge experiments.serve into")
+  in
+  let term =
+    Term.(const run $ socket $ clients $ requests $ workers $ daemon $ daemon_trace $ out)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Load-test cqlserved: N clients x M requests, latency percentiles and throughput")
+    term
+
+let bench_cmd =
+  Cmd.group (Cmd.info "bench" ~doc:"Service benchmarks") [ bench_serve_cmd ]
+
 let () =
   let doc = "Pushing constraint selections: CQL program optimizer (Srivastava & Ramakrishnan)" in
   let info = Cmd.info "cqlopt" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; rewrite_cmd; eval_cmd; fuzz_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ analyze_cmd; rewrite_cmd; eval_cmd; fuzz_cmd; client_cmd; bench_cmd ]))

@@ -86,13 +86,28 @@ let can_decrease t x = match t.lower.(x) with Some l -> Qeps.compare t.beta.(x) 
 exception Pivot_limit of { pivots : int }
 
 let default_pivot_limit = 200_000
-let pivot_limit = ref default_pivot_limit
-let set_pivot_limit n = pivot_limit := max 1 n
+
+(* The budget is a process-wide atomic default plus a per-domain override:
+   [with_pivot_limit] in one request (domain) must not change the budget a
+   concurrent request observes, so the scoped form only ever touches the
+   calling domain's cell. *)
+let process_pivot_limit = Atomic.make default_pivot_limit
+
+let pivot_limit_override : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_pivot_limit n = Atomic.set process_pivot_limit (max 1 n)
+
+let current_pivot_limit () =
+  match !(Domain.DLS.get pivot_limit_override) with
+  | Some n -> n
+  | None -> Atomic.get process_pivot_limit
 
 let with_pivot_limit n f =
-  let prev = !pivot_limit in
-  pivot_limit := max 1 n;
-  Fun.protect ~finally:(fun () -> pivot_limit := prev) f
+  let cell = Domain.DLS.get pivot_limit_override in
+  let prev = !cell in
+  cell := Some (max 1 n);
+  Fun.protect ~finally:(fun () -> cell := prev) f
 
 (* how far a violating basic variable is outside its bound *)
 let violation t x = function
@@ -114,7 +129,7 @@ let suitable_dir dir a t xn =
    pathological sizes: exhausting it raises {!Pivot_limit} so a caller can
    fall back to another procedure instead of spinning. *)
 let check t =
-  let limit = !pivot_limit in
+  let limit = current_pivot_limit () in
   let bland_after = limit / 2 in
   let pivots = ref 0 in
   let rec go () =

@@ -34,15 +34,17 @@ exception Pivot_limit of { pivots : int }
 val default_pivot_limit : int
 
 val set_pivot_limit : int -> unit
-(** Set the per-solve pivot budget (clamped to at least [1]).  Process-wide;
-    intended for CLI configuration, not for scoped use — see
-    {!with_pivot_limit}. *)
+(** Set the process-wide default per-solve pivot budget (clamped to at
+    least [1]).  Intended for CLI/daemon configuration at startup — for
+    scoped use see {!with_pivot_limit}. *)
 
 val with_pivot_limit : int -> (unit -> 'a) -> 'a
-(** [with_pivot_limit n f] runs [f] with the budget set to [n], restoring
-    the previous budget afterwards (also on exceptions).  Not domain-safe:
-    the budget is a plain process-global, so scope it outside any parallel
-    region. *)
+(** [with_pivot_limit n f] runs [f] with the budget set to [n] {e for the
+    calling domain only}, restoring the previous value afterwards (also on
+    exceptions).  Concurrent solves on other domains keep their own budget,
+    so one request's scoped budget can never leak into another — but note
+    that worker domains spawned inside [f] (e.g. [Engine.run ~jobs]) start
+    from the process default, not the caller's override. *)
 
 val is_sat : Atom.t list -> bool
 (** Exact satisfiability of the conjunction of the atoms, over the reals;

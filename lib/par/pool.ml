@@ -9,12 +9,21 @@ type batch = {
 type t = {
   jobs : int;
   m : Mutex.t;
-  work : Condition.t;  (* signalled when a batch is published or on stop *)
+  work : Condition.t;  (* signalled when work is published or on stop *)
   done_ : Condition.t;  (* signalled when a batch fully drains *)
   mutable batch : batch option;
   mutable generation : int;
+  queue : (unit -> unit) Queue.t;  (* independent submitted jobs *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
+}
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+type 'a job = {
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable result : 'a outcome option;  (* [None] while the job is pending *)
 }
 
 let recommended_jobs () = Domain.recommended_domain_count ()
@@ -41,19 +50,33 @@ let drain t b =
   in
   loop ()
 
+(* Run one submitted job closure.  The closure owns its exceptions (it
+   stores them into the job cell), so a raise here is a bug. *)
+let run_job f = f ()
+
+(* Workers serve two kinds of work: [map] batches (all workers cooperate on
+   one batch, signalled by a generation bump) and independent submitted jobs
+   (each popped and run by a single worker).  Batches take priority so a
+   parallel evaluation round is never starved by queued jobs. *)
 let worker t =
   let seen = ref 0 in
   let rec loop () =
     Mutex.lock t.m;
-    while (not t.stop) && t.generation = !seen do
+    while (not t.stop) && t.generation = !seen && Queue.is_empty t.queue do
       Condition.wait t.work t.m
     done;
     if t.stop then Mutex.unlock t.m
-    else begin
+    else if t.generation <> !seen then begin
       seen := t.generation;
       let b = t.batch in
       Mutex.unlock t.m;
       (match b with Some b -> drain t b | None -> ());
+      loop ()
+    end
+    else begin
+      let f = Queue.pop t.queue in
+      Mutex.unlock t.m;
+      run_job f;
       loop ()
     end
   in
@@ -69,6 +92,7 @@ let create ~jobs =
       done_ = Condition.create ();
       batch = None;
       generation = 0;
+      queue = Queue.create ();
       stop = false;
       workers = [];
     }
@@ -120,6 +144,51 @@ let map t f xs =
           results
   end
 
+(* ----- independent jobs ----- *)
+
+let fulfill j outcome =
+  Mutex.lock j.jm;
+  j.result <- Some outcome;
+  Condition.broadcast j.jc;
+  Mutex.unlock j.jm
+
+let submit t f =
+  if t.stop then invalid_arg "Pool.submit: pool is shut down";
+  let j = { jm = Mutex.create (); jc = Condition.create (); result = None } in
+  let closure () =
+    match f () with
+    | v -> fulfill j (Value v)
+    | exception e -> fulfill j (Raised (e, Printexc.get_raw_backtrace ()))
+  in
+  if t.jobs <= 1 then run_job closure
+  else begin
+    Mutex.lock t.m;
+    Queue.push closure t.queue;
+    Condition.broadcast t.work;
+    Mutex.unlock t.m
+  end;
+  j
+
+let is_done j =
+  Mutex.lock j.jm;
+  let r = j.result <> None in
+  Mutex.unlock j.jm;
+  r
+
+let await j =
+  Mutex.lock j.jm;
+  while j.result = None do
+    Condition.wait j.jc j.jm
+  done;
+  let r = j.result in
+  Mutex.unlock j.jm;
+  match r with
+  | Some (Value v) -> v
+  | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+  | None -> assert false
+
+let run t f = await (submit t f)
+
 let shutdown t =
   if not t.stop then begin
     Mutex.lock t.m;
@@ -127,7 +196,17 @@ let shutdown t =
     Condition.broadcast t.work;
     Mutex.unlock t.m;
     List.iter Domain.join t.workers;
-    t.workers <- []
+    t.workers <- [];
+    (* a worker that had already popped a job finished it before joining;
+       jobs still queued run here so no [await] is left hanging *)
+    let rec drain_queue () =
+      match Queue.pop t.queue with
+      | f ->
+          run_job f;
+          drain_queue ()
+      | exception Queue.Empty -> ()
+    in
+    drain_queue ()
   end
 
 let with_pool ~jobs f =

@@ -1,18 +1,30 @@
-(** A small, dependency-free domain pool for fork/join parallelism.
+(** A small, dependency-free domain pool for fork/join parallelism and
+    independent concurrent jobs.
 
-    [create ~jobs] spawns [jobs - 1] worker domains once; every subsequent
-    {!map} fans an array of independent tasks out across the workers plus
-    the calling domain, with chunked work stealing from a shared cursor.
-    Task results come back in task order, so a deterministic decomposition
-    stays deterministic after the parallel phase.  The first exception a
-    task raises is re-raised in the caller (with its backtrace) after the
-    batch drains; remaining unstarted tasks are skipped.
+    [create ~jobs] spawns [jobs - 1] worker domains once.  Two kinds of work
+    run on them:
 
-    With [jobs = 1] no domains are spawned and {!map} degrades to
-    [Array.map] — the exact sequential path, with no synchronization.
+    {ul
+    {- {!map} fans an array of independent tasks out across the workers plus
+       the calling domain, with chunked work stealing from a shared cursor.
+       Task results come back in task order, so a deterministic decomposition
+       stays deterministic after the parallel phase.  The first exception a
+       task raises is re-raised in the caller (with its backtrace) after the
+       batch drains; remaining unstarted tasks are skipped.}
+    {- {!submit} enqueues a single independent job — e.g. one request's
+       entire fixpoint in a server — that any one worker picks up; multiple
+       domains may submit concurrently and each {!await}s its own result.
+       Batches take priority over queued jobs, so an evaluation round fanned
+       out with {!map} is never starved by a deep request queue.}}
 
-    Batches must not be nested: a task must not call {!map} on the pool
-    that is running it (worker domains only drain the current batch). *)
+    With [jobs = 1] no domains are spawned, {!map} degrades to [Array.map]
+    and {!submit} runs the job synchronously — the exact sequential path,
+    with no synchronization.
+
+    Batches must not be nested: a task must not call {!map} on the pool that
+    is running it (worker domains only drain the current batch).  Likewise a
+    submitted job must not {!await} another job on the same pool — with all
+    workers busy awaiting, no worker is left to run the awaited jobs. *)
 
 type t
 
@@ -27,9 +39,31 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     over the pool.  Results are in input order.  Re-raises the first task
     exception after the batch completes. *)
 
+(** {1 Independent jobs} *)
+
+type 'a job
+
+val submit : t -> (unit -> 'a) -> 'a job
+(** [submit pool f] enqueues [f] to run on one worker domain and returns a
+    handle to pass to {!await}.  Jobs submitted from different domains run
+    concurrently (up to [jobs - 1] at a time).  With [jobs = 1] the job runs
+    synchronously in the caller before [submit] returns. *)
+
+val is_done : 'a job -> bool
+(** Whether the job has finished (with a value or an exception); never
+    blocks. *)
+
+val await : 'a job -> 'a
+(** Block until the job finishes; return its value or re-raise its
+    exception (with the backtrace captured on the worker). *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run pool f] is [await (submit pool f)]. *)
+
 val shutdown : t -> unit
-(** Terminate and join the worker domains.  The pool must be idle; using
-    it afterwards raises [Invalid_argument]. *)
+(** Terminate and join the worker domains; jobs still queued but unstarted
+    are run in the caller so every {!await} returns.  No {!map} may be in
+    flight; using the pool afterwards raises [Invalid_argument]. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down

@@ -1,0 +1,55 @@
+(** Load generator for cqlserved: N concurrent client domains × M requests
+    each, over a mix of programs, reporting latency percentiles and
+    throughput (the [cqlopt bench serve] backend and the
+    [experiments.serve] source for BENCH_results.json).
+
+    Before driving load it computes, for every workload, the answers a
+    one-shot in-process evaluation produces (same pipeline, same budgets),
+    and every response is checked against them — so the report's
+    [answers_match] asserts end-to-end that the service returns exactly
+    what [cqlopt eval] would. *)
+
+type workload = {
+  name : string;
+  program : string;  (** CQL source *)
+  edb : string;  (** facts source *)
+  pipeline : string;
+}
+
+val default_workloads : workload list
+(** Three mixed tenants: the paper's flights program, the D.1 ordering
+    example and Example 4.1, with small synthetic EDBs. *)
+
+type result = {
+  clients : int;
+  requests_per_client : int;
+  total_requests : int;
+  ok : int;
+  errors : int;
+  cache_hits : int;
+  answers_match : bool;  (** every ok response matched its one-shot answers *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  mean_ms : float;
+  max_ms : float;
+  wall_s : float;
+  throughput_rps : float;
+  workload_names : string list;
+  server_stats : Json.t;  (** the server's [stats] response after the run *)
+}
+
+val run :
+  socket:string ->
+  clients:int ->
+  requests_per_client:int ->
+  ?workloads:workload list ->
+  unit ->
+  (result, string) Stdlib.result
+(** Drive a server already listening on [socket].  Each client keeps one
+    connection and issues its requests back to back; latency is measured
+    per request on the monotonic clock.  [Error] when no client could
+    connect. *)
+
+val to_json : result -> Json.t
+(** The [experiments.serve] payload. *)

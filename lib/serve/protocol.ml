@@ -1,0 +1,202 @@
+type request =
+  | Eval of {
+      id : string option;
+      tenant : string;
+      program : string;
+      edb : string;
+      pipeline : string;
+      max_iterations : int option;
+      max_derivations : int option;
+    }
+  | Ping of { id : string option }
+  | Stats of { id : string option }
+
+type error_kind =
+  | Malformed
+  | Parse_error
+  | Oversized
+  | Admission
+  | Budget
+  | Shutting_down
+  | Internal
+
+let error_kind_to_string = function
+  | Malformed -> "malformed"
+  | Parse_error -> "parse_error"
+  | Oversized -> "oversized"
+  | Admission -> "admission"
+  | Budget -> "budget"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+(* ----- request decoding ----- *)
+
+let opt_field name conv j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let request_of_json j =
+  let ( let* ) = Result.bind in
+  match Json.member "op" j with
+  | None -> Error "missing \"op\" field"
+  | Some op -> (
+      match Json.to_str op with
+      | None -> Error "\"op\" must be a string"
+      | Some op -> (
+          let* id = opt_field "id" Json.to_str j in
+          match op with
+          | "ping" -> Ok (Ping { id })
+          | "stats" -> Ok (Stats { id })
+          | "eval" ->
+              let* program =
+                match Json.member "program" j with
+                | None -> Error "eval request is missing \"program\""
+                | Some v -> (
+                    match Json.to_str v with
+                    | Some s -> Ok s
+                    | None -> Error "\"program\" must be a string")
+              in
+              let* tenant = opt_field "tenant" Json.to_str j in
+              let* edb = opt_field "edb" Json.to_str j in
+              let* pipeline = opt_field "pipeline" Json.to_str j in
+              let* max_iterations = opt_field "max_iterations" Json.to_int j in
+              let* max_derivations = opt_field "max_derivations" Json.to_int j in
+              Ok
+                (Eval
+                   {
+                     id;
+                     tenant = Option.value tenant ~default:"anon";
+                     program;
+                     edb = Option.value edb ~default:"";
+                     pipeline = Option.value pipeline ~default:"pred,qrp";
+                     max_iterations;
+                     max_derivations;
+                   })
+          | op -> Error (Printf.sprintf "unknown op %S (use eval, ping or stats)" op)))
+
+(* ----- request/response building ----- *)
+
+let with_id id fields =
+  match id with None -> fields | Some id -> ("id", Json.Str id) :: fields
+
+let eval_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~program () =
+  let opt name conv v fields =
+    match v with None -> fields | Some v -> (name, conv v) :: fields
+  in
+  Json.Obj
+    (with_id id
+       ([ ("op", Json.Str "eval"); ("program", Json.Str program) ]
+       |> opt "tenant" (fun s -> Json.Str s) tenant
+       |> opt "edb" (fun s -> Json.Str s) edb
+       |> opt "pipeline" (fun s -> Json.Str s) pipeline
+       |> opt "max_iterations" (fun i -> Json.Int i) max_iterations
+       |> opt "max_derivations" (fun i -> Json.Int i) max_derivations))
+
+let ping_request_json ?id () = Json.Obj (with_id id [ ("op", Json.Str "ping") ])
+let stats_request_json ?id () = Json.Obj (with_id id [ ("op", Json.Str "stats") ])
+
+let error_response ?id kind message =
+  Json.Obj
+    (with_id id
+       [
+         ("status", Json.Str "error");
+         ( "error",
+           Json.Obj
+             [
+               ("kind", Json.Str (error_kind_to_string kind)); ("message", Json.Str message);
+             ] );
+       ])
+
+let ok_response ?id fields = Json.Obj (with_id id (("status", Json.Str "ok") :: fields))
+
+(* ----- framing ----- *)
+
+let max_frame_default = 4 * 1024 * 1024
+
+let write_frame b j =
+  let payload = Buffer.create 256 in
+  Json.to_buffer payload j;
+  Buffer.add_char payload '\n';
+  Buffer.add_string b (string_of_int (Buffer.length payload));
+  Buffer.add_char b '\n';
+  Buffer.add_buffer b payload
+
+type frame_error = Closed | Truncated | Bad_header of string | Too_large of int
+
+let frame_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Bad_header h -> Printf.sprintf "malformed frame header %S (expected a decimal length)" h
+  | Too_large n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+
+type reader = {
+  read : bytes -> int -> int -> int;
+  max_frame : int;
+  chunk : Bytes.t;
+  mutable buf : Bytes.t;  (* buffered unconsumed input *)
+  mutable len : int;
+}
+
+let reader ?(max_frame = max_frame_default) read =
+  { read; max_frame; chunk = Bytes.create 65536; buf = Bytes.create 65536; len = 0 }
+
+let refill r =
+  let n = r.read r.chunk 0 (Bytes.length r.chunk) in
+  if n > 0 then begin
+    if r.len + n > Bytes.length r.buf then begin
+      let grown = Bytes.create (max (r.len + n) (2 * Bytes.length r.buf)) in
+      Bytes.blit r.buf 0 grown 0 r.len;
+      r.buf <- grown
+    end;
+    Bytes.blit r.chunk 0 r.buf r.len n;
+    r.len <- r.len + n
+  end;
+  n
+
+let consume r n =
+  Bytes.blit r.buf n r.buf 0 (r.len - n);
+  r.len <- r.len - n
+
+(* the header is tiny; cap the scan so a stream that never sends '\n'
+   cannot grow the buffer unboundedly *)
+let max_header = 20
+
+let read_frame r =
+  let rec header_end () =
+    match Bytes.index_from_opt r.buf 0 '\n' with
+    | Some i when i < r.len -> Some i
+    | _ ->
+        if r.len > max_header then None
+        else if refill r = 0 then None
+        else header_end ()
+  in
+  if r.len = 0 && refill r = 0 then Error Closed
+  else
+    match header_end () with
+    | None ->
+        if r.len = 0 then Error Closed
+          (* no newline within the scan cap: garbage, not a short read *)
+        else if r.len > max_header then
+          Error (Bad_header (Bytes.sub_string r.buf 0 max_header))
+        else Error Truncated
+    | Some nl -> (
+        let line = Bytes.sub_string r.buf 0 nl in
+        match int_of_string_opt (String.trim line) with
+        | None -> Error (Bad_header line)
+        | Some len when len < 0 -> Error (Bad_header line)
+        | Some len when len > r.max_frame -> Error (Too_large len)
+        | Some len ->
+            let rec fill () =
+              if r.len >= nl + 1 + len then begin
+                let payload = Bytes.sub_string r.buf (nl + 1) len in
+                consume r (nl + 1 + len);
+                Ok payload
+              end
+              else if refill r = 0 then Error Truncated
+              else fill ()
+            in
+            fill ())

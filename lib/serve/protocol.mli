@@ -1,0 +1,101 @@
+(** The cqlserved wire protocol: length-prefixed NDJSON frames.
+
+    Every message — request or response — is one JSON object on one line,
+    preceded by its byte length in ASCII decimal and a newline:
+
+    {v
+    <length>\n{"op": "eval", "program": "...", ...}\n
+    v}
+
+    The length covers the JSON payload including its trailing newline, so a
+    stream of frames is also valid NDJSON with interleaved count lines, and
+    a reader never needs to scan for message boundaries inside program text.
+
+    {1 Requests}
+
+    {ul
+    {- [{"op": "eval", "program": SRC, "edb": SRC, "tenant": T, "pipeline":
+       P, "max_iterations": N, "max_derivations": N, "id": ID}] — compile
+       (plan-cache keyed by digest of [pipeline] + [program]), evaluate, and
+       answer.  Only [program] is required; [pipeline] is one of ["none"],
+       ["pred,qrp"] (default) or ["optimal"].}
+    {- [{"op": "ping"}] — liveness probe.}
+    {- [{"op": "stats"}] — server, plan-cache and per-tenant counters.}}
+
+    {1 Responses}
+
+    [{"status": "ok", ...}] or [{"status": "error", "error": {"kind": K,
+    "message": M}}] with [kind] one of [malformed], [parse_error],
+    [oversized], [admission], [budget], [shutting_down], [internal].  The
+    request [id], when given, is echoed. *)
+
+type request =
+  | Eval of {
+      id : string option;
+      tenant : string;  (** ["anon"] when absent *)
+      program : string;
+      edb : string;  (** facts source; [""] when absent *)
+      pipeline : string;
+      max_iterations : int option;
+      max_derivations : int option;
+    }
+  | Ping of { id : string option }
+  | Stats of { id : string option }
+
+type error_kind =
+  | Malformed  (** unparseable frame or JSON, unknown op, bad field type *)
+  | Parse_error  (** CQL program/EDB syntax error (token/position message) *)
+  | Oversized  (** frame or program over the configured byte limits *)
+  | Admission  (** rejected by admission control *)
+  | Budget  (** evaluation stopped by an iteration/derivation budget *)
+  | Shutting_down
+  | Internal
+
+val error_kind_to_string : error_kind -> string
+
+val request_of_json : Json.t -> (request, string) result
+(** Validate a decoded frame; the error is a message for a [Malformed]
+    response. *)
+
+val eval_request_json :
+  ?id:string ->
+  ?tenant:string ->
+  ?edb:string ->
+  ?pipeline:string ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  program:string ->
+  unit ->
+  Json.t
+
+val ping_request_json : ?id:string -> unit -> Json.t
+val stats_request_json : ?id:string -> unit -> Json.t
+
+val error_response : ?id:string -> error_kind -> string -> Json.t
+val ok_response : ?id:string -> (string * Json.t) list -> Json.t
+
+(** {1 Framing} *)
+
+val max_frame_default : int
+(** 4 MiB. *)
+
+val write_frame : Buffer.t -> Json.t -> unit
+(** Append one frame (length line + payload + newline). *)
+
+type frame_error =
+  | Closed  (** EOF at a frame boundary: clean end of stream *)
+  | Truncated  (** EOF inside a header or payload *)
+  | Bad_header of string  (** header line is not a plain decimal length *)
+  | Too_large of int  (** declared length exceeds the reader's limit *)
+
+val frame_error_to_string : frame_error -> string
+
+type reader
+
+val reader : ?max_frame:int -> (bytes -> int -> int -> int) -> reader
+(** [reader read] wraps a [read buf off len] function ([0] = EOF, e.g.
+    [Unix.read fd]) with the buffering needed to split frames. *)
+
+val read_frame : reader -> (string, frame_error) result
+(** The next frame's payload (JSON text).  After any [Error] other than
+    {!Closed} the stream position is unreliable; close the connection. *)

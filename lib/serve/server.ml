@@ -1,0 +1,354 @@
+open Cql_datalog
+open Cql_core
+module Obs = Cql_obs.Obs
+module Pool = Cql_par.Pool
+module Engine = Cql_eval.Engine
+module Fact = Cql_eval.Fact
+
+type config = {
+  socket_path : string;
+  workers : int;
+  limits : Admission.limits;
+  plan_cache_entries : int;
+  max_frame_bytes : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 4;
+    limits = Admission.default_limits;
+    plan_cache_entries = 256;
+    max_frame_bytes = Protocol.max_frame_default;
+  }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  pool : Pool.t;
+  cache : Plan_cache.t;
+  adm : Admission.t;
+  stop_flag : bool Atomic.t;
+  served : int Atomic.t;  (* connections accepted *)
+  requests : Obs.counter;
+  errors : Obs.counter;
+  started_ns : int64;
+  mutable accept_domain : unit Domain.t option;
+}
+
+let stopping t = Atomic.get t.stop_flag
+let stop t = Atomic.set t.stop_flag true
+let connections_served t = Atomic.get t.served
+
+(* ----- compilation ----- *)
+
+let compile ~pipeline (p : Program.t) =
+  match pipeline with
+  | "none" -> Ok p
+  | "pred,qrp" -> (
+      try Ok (fst (Rewrite.constraint_rewrite p))
+      with Invalid_argument msg -> Error (Protocol.Internal, "rewrite failed: " ^ msg))
+  | "optimal" -> (
+      let q = Option.get p.Program.query in
+      let adornment = String.make (Program.arity p q) 'f' in
+      try Ok (fst (Rewrite.optimal ~adornment p))
+      with Invalid_argument msg -> Error (Protocol.Internal, "rewrite failed: " ^ msg))
+  | other ->
+      Error
+        ( Protocol.Malformed,
+          Printf.sprintf "unknown pipeline %S (use none, pred,qrp or optimal)" other )
+
+let ms_of_ns ns = Int64.to_float ns /. 1e6
+
+(* ----- eval ----- *)
+
+let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_derivations () =
+  Obs.add_field_str "tenant" tenant;
+  let err kind msg =
+    Obs.incr t.errors;
+    Obs.add_field_str "status" (Protocol.error_kind_to_string kind);
+    Protocol.error_response ?id kind msg
+  in
+  match
+    Admission.admit t.adm ~tenant
+      ~program_bytes:(String.length program)
+      ~max_iterations ~max_derivations
+  with
+  | Admission.Reject_oversized msg -> err Protocol.Oversized msg
+  | Admission.Reject_busy msg | Admission.Reject_budget msg -> err Protocol.Admission msg
+  | Admission.Admit { max_iterations; max_derivations } -> (
+      Fun.protect ~finally:(fun () -> Admission.release t.adm ~tenant) @@ fun () ->
+      match Parser.program_of_string program with
+      | exception Parser.Error msg -> err Protocol.Parse_error msg
+      | p -> (
+          match List.map Fact.of_fact_rule (Parser.facts_of_string edb) with
+          | exception Parser.Error msg -> err Protocol.Parse_error ("edb: " ^ msg)
+          | edb -> (
+              (* without a query predicate there is nothing to push; the
+                 effective pipeline is recorded in the response *)
+              let pipeline = if p.Program.query = None then "none" else pipeline in
+              let key = Plan_cache.key ~pipeline ~source:program in
+              let cached, plan =
+                match Plan_cache.find t.cache key with
+                | Some plan -> (true, Ok plan)
+                | None -> (
+                    let t0 = Obs.monotonic_ns () in
+                    match compile ~pipeline p with
+                    | Error e -> (false, Error e)
+                    | Ok prog ->
+                        let plan =
+                          {
+                            Plan_cache.pipeline;
+                            program = prog;
+                            source_bytes = String.length program;
+                            rewrite_ns = Int64.sub (Obs.monotonic_ns ()) t0;
+                          }
+                        in
+                        Plan_cache.add t.cache key plan;
+                        (false, Ok plan))
+              in
+              match plan with
+              | Error (kind, msg) -> err kind msg
+              | Ok plan -> (
+                  Obs.add_field_str "cache" (if cached then "hit" else "miss");
+                  let t0 = Obs.monotonic_ns () in
+                  match
+                    Engine.run ~jobs:1 ~max_iterations ~max_derivations plan.Plan_cache.program
+                      ~edb
+                  with
+                  | exception e -> err Protocol.Internal (Printexc.to_string e)
+                  | res ->
+                      let eval_ns = Int64.sub (Obs.monotonic_ns ()) t0 in
+                      let s = Engine.stats res in
+                      if not s.Engine.reached_fixpoint then
+                        err Protocol.Budget
+                          (Printf.sprintf
+                             "evaluation truncated by its budget after %d iterations / %d \
+                              derivations"
+                             s.Engine.iterations s.Engine.derivations)
+                      else begin
+                        let answers =
+                          List.sort Fact.compare (Engine.answers res plan.Plan_cache.program)
+                        in
+                        Obs.add_field_str "status" "ok";
+                        Obs.add_field "answers" (List.length answers);
+                        Protocol.ok_response ?id
+                          [
+                            ("tenant", Json.Str tenant);
+                            ("cache", Json.Str (if cached then "hit" else "miss"));
+                            ("pipeline", Json.Str plan.Plan_cache.pipeline);
+                            ( "query",
+                              match plan.Plan_cache.program.Program.query with
+                              | Some q -> Json.Str q
+                              | None -> Json.Null );
+                            ( "answers",
+                              Json.List (List.map (fun f -> Json.Str (Fact.to_string f)) answers)
+                            );
+                            ( "stats",
+                              Json.Obj
+                                [
+                                  ("iterations", Json.Int s.Engine.iterations);
+                                  ("derivations", Json.Int s.Engine.derivations);
+                                  ("facts", Json.Int (Engine.total_facts res));
+                                  ("fixpoint", Json.Bool s.Engine.reached_fixpoint);
+                                ] );
+                            ( "rewrite_ms",
+                              Json.Float (if cached then 0.0 else ms_of_ns plan.Plan_cache.rewrite_ns)
+                            );
+                            ("eval_ms", Json.Float (ms_of_ns eval_ns));
+                          ]
+                      end))))
+
+(* ----- stats ----- *)
+
+let stats_response t ?id () =
+  let c = Plan_cache.stats t.cache in
+  Protocol.ok_response ?id
+    [
+      ( "server",
+        Json.Obj
+          [
+            ("workers", Json.Int t.config.workers);
+            ("connections_served", Json.Int (Atomic.get t.served));
+            ("requests", Json.Int (Obs.value t.requests));
+            ("errors", Json.Int (Obs.value t.errors));
+            ( "uptime_ms",
+              Json.Float (ms_of_ns (Int64.sub (Obs.monotonic_ns ()) t.started_ns)) );
+          ] );
+      ( "plan_cache",
+        Json.Obj
+          [
+            ("entries", Json.Int c.Plan_cache.entries);
+            ("hits", Json.Int c.Plan_cache.hits);
+            ("misses", Json.Int c.Plan_cache.misses);
+            ("evictions", Json.Int c.Plan_cache.evictions);
+          ] );
+      ( "tenants",
+        Json.List
+          (List.map
+             (fun (s : Admission.tenant_stats) ->
+               Json.Obj
+                 [
+                   ("tenant", Json.Str s.Admission.tenant);
+                   ("inflight", Json.Int s.Admission.inflight);
+                   ("served", Json.Int s.Admission.served);
+                   ("rejected", Json.Int s.Admission.rejected);
+                 ])
+             (Admission.tenants t.adm)) );
+    ]
+
+(* ----- dispatch ----- *)
+
+let respond t payload =
+  Obs.span "serve.request" @@ fun () ->
+  Obs.incr t.requests;
+  let malformed msg =
+    Obs.incr t.errors;
+    Obs.add_field_str "status" "malformed";
+    Protocol.error_response Protocol.Malformed msg
+  in
+  match Json.parse payload with
+  | Error msg -> malformed msg
+  | Ok j -> (
+      match Protocol.request_of_json j with
+      | Error msg -> malformed msg
+      | Ok (Protocol.Ping { id }) ->
+          Obs.add_field_str "status" "ok";
+          Protocol.ok_response ?id [ ("pong", Json.Bool true) ]
+      | Ok (Protocol.Stats { id }) ->
+          Obs.add_field_str "status" "ok";
+          stats_response t ?id ()
+      | Ok (Protocol.Eval e) ->
+          if stopping t then begin
+            Obs.incr t.errors;
+            Protocol.error_response ?id:e.id Protocol.Shutting_down
+              "server is shutting down; no new evaluations"
+          end
+          else
+            handle_eval t ?id:e.id ~tenant:e.tenant ~program:e.program ~edb:e.edb
+              ~pipeline:e.pipeline ~max_iterations:e.max_iterations
+              ~max_derivations:e.max_derivations ())
+
+(* ----- connection plumbing ----- *)
+
+exception Client_gone
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let rec go off =
+    if off < n then
+      match Unix.write fd bytes off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Client_gone
+  in
+  go 0
+
+(* Blocking read that wakes up at a stop request: poll with a short select
+   so a drained server closes idle connections at the next quiet moment,
+   while data already in flight keeps being served. *)
+let read_with_stop t fd buf off len =
+  let rec go () =
+    match Unix.select [ fd ] [] [] 0.15 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | [], _, _ -> if stopping t then 0 else go ()
+    | _ -> (
+        match Unix.read fd buf off len with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0)
+  in
+  go ()
+
+let handle_connection t fd =
+  let r = Protocol.reader ~max_frame:t.config.max_frame_bytes (read_with_stop t fd) in
+  let out = Buffer.create 1024 in
+  let send j =
+    Buffer.clear out;
+    Protocol.write_frame out j;
+    write_all fd (Buffer.to_bytes out)
+  in
+  let frame_err kind (e : Protocol.frame_error) =
+    Obs.incr t.errors;
+    send (Protocol.error_response kind (Protocol.frame_error_to_string e))
+  in
+  let rec loop () =
+    match Protocol.read_frame r with
+    | Error Protocol.Closed | Error Protocol.Truncated -> ()
+    | Error (Protocol.Bad_header _ as e) -> frame_err Protocol.Malformed e
+    | Error (Protocol.Too_large _ as e) -> frame_err Protocol.Oversized e
+    | Ok payload ->
+        send (respond t payload);
+        loop ()
+  in
+  (try loop () with
+  | Client_gone -> ()
+  | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ----- accept loop ----- *)
+
+let accept_loop t =
+  let conns = ref [] in
+  let rec go () =
+    if not (stopping t) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.15 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | fd, _ ->
+              Atomic.incr t.served;
+              conns := Pool.submit t.pool (fun () -> handle_connection t fd) :: !conns;
+              (* keep the tracking list from growing with connection count *)
+              if List.length !conns > 64 then
+                conns := List.filter (fun j -> not (Pool.is_done j)) !conns));
+      go ()
+    end
+  in
+  go ();
+  (* drain: every accepted connection finishes its in-flight requests *)
+  List.iter Pool.await !conns;
+  Pool.shutdown t.pool;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.config.socket_path with Unix.Unix_error _ | Sys_error _ -> ()
+
+(* ----- lifecycle ----- *)
+
+let start config =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    {
+      config = { config with workers = max 1 config.workers };
+      listen_fd;
+      (* [workers] domains run connection jobs; the accept domain only
+         submits, so it is not counted as a pool worker *)
+      pool = Pool.create ~jobs:(max 1 config.workers + 1);
+      cache = Plan_cache.create ~max_entries:config.plan_cache_entries;
+      adm = Admission.create config.limits;
+      stop_flag = Atomic.make false;
+      served = Atomic.make 0;
+      requests = Obs.counter "serve.requests";
+      errors = Obs.counter "serve.errors";
+      started_ns = Obs.monotonic_ns ();
+      accept_domain = None;
+    }
+  in
+  t.accept_domain <- Some (Domain.spawn (fun () -> accept_loop t));
+  t
+
+let wait t =
+  match t.accept_domain with
+  | Some d ->
+      Domain.join d;
+      t.accept_domain <- None
+  | None -> ()

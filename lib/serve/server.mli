@@ -1,0 +1,73 @@
+(** The cqlserved daemon core: a persistent multi-tenant query service over
+    a Unix-domain socket.
+
+    Architecture (all dependency-free, in the style of lib/par and lib/obs):
+
+    {ul
+    {- One accept domain owns the listening socket.  Each accepted
+       connection becomes one independent job on a {!Cql_par.Pool} executor
+       ({!Cql_par.Pool.submit}), so up to [workers] connections are served
+       concurrently, each request running its fixpoint sequentially
+       ([~jobs:1]) on its worker domain — one fixpoint per request task,
+       not one pooled run per process.}
+    {- Requests and responses are length-prefixed NDJSON frames
+       ({!Protocol}).  CQL syntax errors come back as structured
+       [parse_error] responses carrying the parser's token/position
+       message; malformed frames and JSON come back as [malformed].}
+    {- Compiled plans (the constraint-pushing rewrite of a program) are
+       interned in a {!Plan_cache} keyed by source digest: a warm repeat
+       query skips the rewrite pipeline entirely, observable through the
+       [serve.plan_cache.hits] counter and the response's ["cache"] field.}
+    {- {!Admission} rejects oversized programs, over-parallel tenants and
+       over-budget requests before any work happens; admitted requests run
+       under the engine's derivation/iteration budgets and a run that is
+       truncated by its budget returns a [budget] error rather than a
+       silently partial answer.}
+    {- Every request runs inside an [Obs] span ([serve.request] with
+       tenant/op/cache/status fields), so [--trace-json] gives per-request
+       NDJSON traces with solver-counter deltas attached.}}
+
+    Shutdown ({!stop}, or SIGTERM/SIGINT in the daemon binary) stops
+    accepting, lets every connection finish the requests already submitted
+    (idle connections are closed at the next quiet moment), then joins the
+    workers.  In-flight evaluations always get their responses. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** concurrent connection handlers (clamped to >= 1) *)
+  limits : Admission.limits;
+  plan_cache_entries : int;
+  max_frame_bytes : int;
+}
+
+val default_config : socket_path:string -> config
+(** 4 workers, {!Admission.default_limits}, 256 cached plans, 4 MiB
+    frames. *)
+
+type t
+
+val start : config -> t
+(** Bind the socket (unlinking a stale file first), spawn the accept domain
+    and the worker pool, and return immediately.  Ignores SIGPIPE
+    process-wide (a client hanging up mid-response must not kill the
+    daemon). *)
+
+val stop : t -> unit
+(** Request shutdown; safe to call from a signal handler (it only flips an
+    atomic). *)
+
+val stopping : t -> bool
+
+val wait : t -> unit
+(** Block until the accept domain has drained and everything is joined;
+    the socket file is unlinked.  [stop] must be called (by anyone) for
+    this to return. *)
+
+val connections_served : t -> int
+
+(** {1 Request handling} — exposed for tests; the daemon drives it through
+    the socket. *)
+
+val respond : t -> string -> Json.t
+(** Decode one frame payload, dispatch, and build the response (inside the
+    [serve.request] span). *)

@@ -220,6 +220,130 @@ let test_default_jobs () =
   check_int "clamped to 1" 1 (Engine.default_jobs ());
   Engine.set_default_jobs restore
 
+(* ----- independent jobs (the executor behind cqlserved) ----- *)
+
+let test_submit_await () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let jobs = List.init 20 (fun i -> Pool.submit pool (fun () -> i * i)) in
+      check_bool "all values" true
+        (List.map Pool.await jobs = List.init 20 (fun i -> i * i));
+      check_int "run = await . submit" 42 (Pool.run pool (fun () -> 42)))
+
+let test_submit_concurrent () =
+  (* two jobs that each wait for the other to start can only finish if they
+     run on different workers at the same time *)
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let started = Atomic.make 0 in
+      let job () =
+        Atomic.incr started;
+        while Atomic.get started < 2 do
+          Domain.cpu_relax ()
+        done;
+        Atomic.get started
+      in
+      let j1 = Pool.submit pool job and j2 = Pool.submit pool job in
+      check_bool "both ran concurrently" true (Pool.await j1 = 2 && Pool.await j2 = 2))
+
+let test_submit_exception () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let j = Pool.submit pool (fun () -> raise (Boom 7)) in
+      let raised = match Pool.await j with _ -> None | exception Boom n -> Some n in
+      check_bool "job exception re-raised in await" true (raised = Some 7);
+      check_int "pool usable after a failed job" 5 (Pool.run pool (fun () -> 5)))
+
+let test_submit_sequential () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let ran = ref false in
+      let j =
+        Pool.submit pool (fun () ->
+            ran := true;
+            9)
+      in
+      check_bool "jobs=1 runs synchronously" true !ran;
+      check_bool "already done" true (Pool.is_done j);
+      check_int "value" 9 (Pool.await j))
+
+let test_map_alongside_jobs () =
+  (* a job parks the only worker domain; a map batch must still complete
+     (the caller participates and batches take priority) *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let gate = Atomic.make false in
+      let j =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            1)
+      in
+      let ys = Pool.map pool succ (Array.init 50 Fun.id) in
+      check_bool "batch completed while a job holds a worker" true
+        (ys = Array.init 50 succ);
+      Atomic.set gate true;
+      check_int "job completes" 1 (Pool.await j))
+
+let test_shutdown_drains () =
+  (* queued-but-unstarted jobs are run in the caller during shutdown, so no
+     await ever hangs *)
+  let pool = Pool.create ~jobs:2 in
+  let js = List.init 16 (fun i -> Pool.submit pool (fun () -> i)) in
+  Pool.shutdown pool;
+  check_bool "every await returns" true (List.map Pool.await js = List.init 16 Fun.id);
+  check_bool "submit after shutdown rejected" true
+    (match Pool.submit pool (fun () -> 0) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ----- concurrent independent fixpoints (the cqlserved execution model) ----- *)
+
+(* two engine runs on two domains at once — as two server requests — must
+   not observe each other through any process-global pipeline state *)
+let test_concurrent_fixpoints () =
+  let p = parse flights_p in
+  let reference = Engine.run ~jobs:1 p ~edb:flights_edb in
+  let domains =
+    Array.init 2 (fun _ -> Domain.spawn (fun () -> Engine.run ~jobs:1 p ~edb:flights_edb))
+  in
+  Array.iteri
+    (fun i r -> check_runs_agree (Printf.sprintf "domain %d" i) reference r)
+    (Array.map Domain.join domains)
+
+(* one request's scoped pivot budget must not leak into a concurrent
+   request on another domain (the budget override is per-domain) *)
+let test_pivot_limit_isolation () =
+  (* needs one pivot per lower-bounded variable: 2 pivots, so budget 1 trips *)
+  let atoms =
+    [
+      Atom.ge (Linexpr.var (Var.arg 1)) (Linexpr.of_int 1);
+      Atom.ge (Linexpr.var (Var.arg 2)) (Linexpr.of_int 1);
+      Atom.le (Linexpr.add (Linexpr.var (Var.arg 1)) (Linexpr.var (Var.arg 2)))
+        (Linexpr.of_int 10);
+    ]
+  in
+  let in_override = Atomic.make false in
+  let release = Atomic.make false in
+  let constrained =
+    Domain.spawn (fun () ->
+        Simplex.with_pivot_limit 1 (fun () ->
+            let tripped =
+              match Simplex.is_sat atoms with
+              | _ -> false
+              | exception Simplex.Pivot_limit _ -> true
+            in
+            Atomic.set in_override true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            tripped))
+  in
+  (* solve here strictly while the other domain holds its budget-1 scope *)
+  while not (Atomic.get in_override) do
+    Domain.cpu_relax ()
+  done;
+  let unaffected = match Simplex.is_sat atoms with s -> s | exception _ -> false in
+  Atomic.set release true;
+  check_bool "override effective on its own domain" true (Domain.join constrained);
+  check_bool "concurrent domain keeps the process default" true unaffected
+
 (* qcheck: random rationals through the pool match sequential arithmetic *)
 let test_pool_qcheck =
   QCheck.Test.make ~name:"pool map = Array.map" ~count:50
@@ -238,6 +362,20 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_pool_exception;
           Alcotest.test_case "empty and tiny batches" `Quick test_pool_empty_and_tiny;
           QCheck_alcotest.to_alcotest test_pool_qcheck;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "submit/await" `Quick test_submit_await;
+          Alcotest.test_case "jobs run concurrently" `Quick test_submit_concurrent;
+          Alcotest.test_case "exception through await" `Quick test_submit_exception;
+          Alcotest.test_case "jobs=1 synchronous path" `Quick test_submit_sequential;
+          Alcotest.test_case "map alongside parked job" `Quick test_map_alongside_jobs;
+          Alcotest.test_case "shutdown drains the queue" `Quick test_shutdown_drains;
+        ] );
+      ( "reentrancy",
+        [
+          Alcotest.test_case "two concurrent fixpoints" `Quick test_concurrent_fixpoints;
+          Alcotest.test_case "pivot-limit isolation" `Quick test_pivot_limit_isolation;
         ] );
       ( "interning",
         [

@@ -1,0 +1,510 @@
+(* Tests for the query service layer (lib/serve): the JSON codec, the
+   length-prefixed framing, the compiled-plan cache, admission control, and
+   the daemon itself end to end over a real Unix-domain socket. *)
+
+module Json = Cql_serve.Json
+module Protocol = Cql_serve.Protocol
+module Plan_cache = Cql_serve.Plan_cache
+module Admission = Cql_serve.Admission
+module Server = Cql_serve.Server
+module Client = Cql_serve.Client
+module Obs = Cql_obs.Obs
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ----- JSON codec ----- *)
+
+let roundtrip s =
+  match Json.parse s with
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+  | Ok j -> Json.to_string j
+
+let test_json_roundtrip () =
+  check_str "object" {|{"a": 1, "b": [true, null, -2.5], "c": "x"}|}
+    (roundtrip {| { "a" :1, "b":[ true,null, -2.5 ] ,"c" : "x" } |});
+  check_str "empty containers" {|{"a": [], "b": {}}|} (roundtrip {|{"a":[],"b":{}}|});
+  check_str "negative int" "-42" (roundtrip "-42");
+  check_str "exponent becomes float" "1500.0" (roundtrip "1.5e3");
+  check_str "escapes" {|"a\"b\\c\nd"|} (roundtrip {|"a\"b\\c\nd"|})
+
+let test_json_unicode () =
+  (* é is two UTF-8 bytes; the surrogate pair 😀 is four *)
+  (match Json.parse {|"café"|} with
+  | Ok (Json.Str s) -> check_str "BMP escape" "caf\xc3\xa9" s
+  | _ -> Alcotest.fail "BMP escape");
+  (match Json.parse {|"😀"|} with
+  | Ok (Json.Str s) -> check_str "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair");
+  (* control characters print as \u escapes *)
+  check_str "control chars escaped" {|"a\u0001b"|} (Json.to_string (Json.Str "a\x01b"))
+
+let test_json_errors () =
+  let fails s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+  in
+  fails "";
+  fails "{";
+  fails {|{"a" 1}|};
+  fails "[1,]";
+  fails "truex";
+  fails "1 2";
+  (* trailing content *)
+  fails {|"unterminated|};
+  (* the error names the byte offset *)
+  match Json.parse "[1, x]" with
+  | Error msg -> check_bool "offset in message" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_json_accessors () =
+  let j = Result.get_ok (Json.parse {|{"a": 7, "b": "x", "c": [1], "d": 2.0}|}) in
+  check_bool "member hit" true (Json.member "a" j = Some (Json.Int 7));
+  check_bool "member miss" true (Json.member "z" j = None);
+  check_bool "to_int" true (Option.bind (Json.member "a" j) Json.to_int = Some 7);
+  check_bool "to_int of integral float" true
+    (Option.bind (Json.member "d" j) Json.to_int = Some 2);
+  check_bool "to_str" true (Option.bind (Json.member "b" j) Json.to_str = Some "x");
+  check_bool "to_list" true
+    (Option.bind (Json.member "c" j) Json.to_list = Some [ Json.Int 1 ])
+
+(* ----- framing ----- *)
+
+let string_reader ?max_frame s =
+  let pos = ref 0 in
+  Protocol.reader ?max_frame (fun buf off len ->
+      let n = min len (String.length s - !pos) in
+      Bytes.blit_string s !pos buf off n;
+      pos := !pos + n;
+      n)
+
+let test_frame_roundtrip () =
+  let b = Buffer.create 64 in
+  Protocol.write_frame b (Json.Obj [ ("op", Json.Str "ping") ]);
+  Protocol.write_frame b (Json.Obj [ ("op", Json.Str "stats") ]);
+  let r = string_reader (Buffer.contents b) in
+  (match Protocol.read_frame r with
+  | Ok payload -> check_bool "first frame" true (Json.parse payload = Ok (Json.Obj [ ("op", Json.Str "ping") ]))
+  | Error _ -> Alcotest.fail "first frame");
+  (match Protocol.read_frame r with
+  | Ok payload -> check_bool "second frame" true (Json.parse payload = Ok (Json.Obj [ ("op", Json.Str "stats") ]))
+  | Error _ -> Alcotest.fail "second frame");
+  check_bool "clean EOF" true (Protocol.read_frame r = Error Protocol.Closed)
+
+let test_frame_bad_header () =
+  let r = string_reader "notanumber\n{}\n" in
+  (match Protocol.read_frame r with
+  | Error (Protocol.Bad_header _) -> ()
+  | _ -> Alcotest.fail "expected Bad_header");
+  (* a huge decimal that never terminates is rejected, not buffered forever *)
+  let r = string_reader (String.make 64 '1') in
+  match Protocol.read_frame r with
+  | Error (Protocol.Bad_header _) -> ()
+  | _ -> Alcotest.fail "expected Bad_header for an unterminated header"
+
+let test_frame_truncated () =
+  let r = string_reader "100\n{\"op\": \"ping\"}\n" in
+  (match Protocol.read_frame r with
+  | Error Protocol.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated (payload shorter than declared)");
+  let r = string_reader "12" in
+  match Protocol.read_frame r with
+  | Error Protocol.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated (EOF inside header)"
+
+let test_frame_too_large () =
+  let b = Buffer.create 64 in
+  Protocol.write_frame b (Json.Str (String.make 100 'x'));
+  let r = string_reader ~max_frame:16 (Buffer.contents b) in
+  match Protocol.read_frame r with
+  | Error (Protocol.Too_large n) -> check_bool "declared length reported" true (n > 16)
+  | _ -> Alcotest.fail "expected Too_large"
+
+(* ----- request decoding ----- *)
+
+let test_request_of_json () =
+  let decode s = Protocol.request_of_json (Result.get_ok (Json.parse s)) in
+  (match decode {|{"op": "eval", "program": "p(1)."}|} with
+  | Ok (Protocol.Eval e) ->
+      check_str "default tenant" "anon" e.tenant;
+      check_str "default pipeline" "pred,qrp" e.pipeline;
+      check_str "program" "p(1)." e.program;
+      check_bool "no budgets" true (e.max_iterations = None && e.max_derivations = None)
+  | _ -> Alcotest.fail "eval defaults");
+  (match decode {|{"op": "eval", "program": "p.", "max_derivations": 9, "id": "r1"}|} with
+  | Ok (Protocol.Eval e) ->
+      check_bool "budget" true (e.max_derivations = Some 9);
+      check_bool "id" true (e.id = Some "r1")
+  | _ -> Alcotest.fail "eval fields");
+  check_bool "ping" true (decode {|{"op": "ping"}|} = Ok (Protocol.Ping { id = None }));
+  check_bool "unknown op rejected" true (Result.is_error (decode {|{"op": "nope"}|}));
+  check_bool "missing program rejected" true (Result.is_error (decode {|{"op": "eval"}|}));
+  check_bool "non-object rejected" true (Result.is_error (decode "[1]"))
+
+(* ----- plan cache ----- *)
+
+let dummy_plan pipeline =
+  {
+    Plan_cache.pipeline;
+    program = Cql_datalog.Parser.program_of_string "p(1).";
+    source_bytes = 5;
+    rewrite_ns = 0L;
+  }
+
+let test_plan_cache_lru () =
+  let c = Plan_cache.create ~max_entries:2 in
+  let k p = Plan_cache.key ~pipeline:"none" ~source:p in
+  check_bool "distinct sources, distinct keys" true (k "a" <> k "b");
+  check_bool "pipeline part of the key" true
+    (Plan_cache.key ~pipeline:"none" ~source:"a"
+    <> Plan_cache.key ~pipeline:"optimal" ~source:"a");
+  let s0 = Plan_cache.stats c in
+  check_bool "cold miss" true (Plan_cache.find c (k "a") = None);
+  Plan_cache.add c (k "a") (dummy_plan "none");
+  check_bool "hit after add" true (Plan_cache.find c (k "a") <> None);
+  Plan_cache.add c (k "b") (dummy_plan "none");
+  (* touch a so b is the least recently used *)
+  ignore (Plan_cache.find c (k "a"));
+  Plan_cache.add c (k "c") (dummy_plan "none");
+  check_int "capacity held" 2 (Plan_cache.size c);
+  check_bool "LRU entry evicted" true (Plan_cache.find c (k "b") = None);
+  check_bool "recently used entry kept" true (Plan_cache.find c (k "a") <> None);
+  let s1 = Plan_cache.stats c in
+  check_int "evictions counted" 1 (s1.Plan_cache.evictions - s0.Plan_cache.evictions);
+  check_int "hits counted" 3 (s1.Plan_cache.hits - s0.Plan_cache.hits);
+  check_int "misses counted" 2 (s1.Plan_cache.misses - s0.Plan_cache.misses)
+
+(* ----- admission control ----- *)
+
+let test_admission () =
+  let adm =
+    Admission.create
+      {
+        Admission.max_program_bytes = 100;
+        max_inflight_per_tenant = 2;
+        max_derivations = 1000;
+        max_iterations = 10;
+      }
+  in
+  let admit ?mi ?md ?(tenant = "t") bytes =
+    Admission.admit adm ~tenant ~program_bytes:bytes ~max_iterations:mi ~max_derivations:md
+  in
+  (* rejections first: none of these occupy an inflight slot *)
+  (match admit 101 with
+  | Admission.Reject_oversized _ -> ()
+  | _ -> Alcotest.fail "oversized program");
+  (match admit ~md:1001 50 with
+  | Admission.Reject_budget _ -> ()
+  | _ -> Alcotest.fail "over-cap derivations");
+  (match admit ~mi:11 50 with
+  | Admission.Reject_budget _ -> ()
+  | _ -> Alcotest.fail "over-cap iterations");
+  (match admit 50 with
+  | Admission.Admit { max_iterations; max_derivations } ->
+      check_int "iterations default to the cap" 10 max_iterations;
+      check_int "derivations default to the cap" 1000 max_derivations
+  | _ -> Alcotest.fail "should admit");
+  (match admit ~mi:5 ~md:99 50 with
+  | Admission.Admit { max_iterations; max_derivations } ->
+      check_int "requested iterations kept" 5 max_iterations;
+      check_int "requested derivations kept" 99 max_derivations
+  | _ -> Alcotest.fail "should admit under-cap budgets");
+  (* two admitted and not released: the third concurrent request is busy *)
+  (match admit 50 with
+  | Admission.Reject_busy _ -> ()
+  | _ -> Alcotest.fail "inflight cap");
+  Admission.release adm ~tenant:"t";
+  (match admit 50 with
+  | Admission.Admit _ -> ()
+  | _ -> Alcotest.fail "slot freed by release");
+  (* other tenants have their own slots *)
+  match admit ~tenant:"u" 50 with
+  | Admission.Admit _ -> ()
+  | _ -> Alcotest.fail "per-tenant isolation"
+
+(* ----- the daemon end to end ----- *)
+
+let test_socket name = Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cql-test-%s-%d.sock" name (Unix.getpid ()))
+
+let with_server ?(configure = Fun.id) name f =
+  let socket = test_socket name in
+  let t = Server.start (configure (Server.default_config ~socket_path:socket)) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Server.wait t)
+    (fun () -> f socket t)
+
+let with_client socket f =
+  match Client.connect_retry socket with
+  | Error msg -> Alcotest.failf "connect %s: %s" socket msg
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ex41_program =
+  {|
+r1: q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.
+r2: p1(X, Y) :- b1(X, Y).
+r3: p2(X) :- b2(X).
+#query q.
+|}
+
+let ex41_edb = "b1(2, 1). b1(2, 4). b1(3, 3). b1(5, 1).\nb2(1). b2(2). b2(3). b2(4)."
+
+let test_server_cache_miss_then_hit () =
+  with_server "cache" (fun socket _ ->
+      with_client socket (fun c ->
+          let hits = Obs.counter "serve.plan_cache.hits" in
+          let h0 = Obs.value hits in
+          let r1 = Result.get_ok (Client.eval c ~edb:ex41_edb ~program:ex41_program ()) in
+          check_bool "first response ok" true (Client.is_ok r1);
+          check_bool "first is a miss" true
+            (Option.bind (Json.member "cache" r1) Json.to_str = Some "miss");
+          check_bool "rewrite timed on the miss" true
+            (match Option.bind (Json.member "rewrite_ms" r1) Json.to_bool with
+            | Some _ -> false
+            | None -> Json.member "rewrite_ms" r1 <> None);
+          let r2 = Result.get_ok (Client.eval c ~edb:ex41_edb ~program:ex41_program ()) in
+          check_bool "second is a hit" true
+            (Option.bind (Json.member "cache" r2) Json.to_str = Some "hit");
+          (* the acceptance check: the repeat query skipped the rewrite,
+             observable through the plan-cache hit counter *)
+          check_int "plan-cache hit counter advanced" 1 (Obs.value hits - h0);
+          check_bool "answers stable across hit and miss" true
+            (Client.answers r1 = Client.answers r2);
+          check_bool "some answers" true (Client.answers r1 <> [])))
+
+let test_server_parse_error () =
+  with_server "parse" (fun socket _ ->
+      with_client socket (fun c ->
+          let r = Result.get_ok (Client.eval c ~program:"q(X :- p(X)." ()) in
+          check_bool "error response" true (not (Client.is_ok r));
+          check_bool "structured kind" true (Client.error_kind r = Some "parse_error");
+          let msg = Option.value (Client.error_message r) ~default:"" in
+          (* the parser's token/position diagnostics survive the wire *)
+          check_bool "message carries position info" true
+            (String.length msg > 0
+            && (let has sub =
+                  let n = String.length sub in
+                  let rec go i =
+                    i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                has "line" || has "character" || has "token"));
+          (* a bad EDB is a parse error too, and the connection survives *)
+          let r = Result.get_ok (Client.eval c ~program:"q(1)." ~edb:"nope(" ()) in
+          check_bool "edb parse error" true (Client.error_kind r = Some "parse_error");
+          check_bool "connection still usable" true
+            (Client.is_ok (Result.get_ok (Client.ping c)))))
+
+let test_server_admission_and_budget () =
+  with_server "limits"
+    ~configure:(fun c ->
+      {
+        c with
+        Server.limits =
+          {
+            Admission.max_program_bytes = 4096;
+            max_inflight_per_tenant = 2;
+            max_derivations = 1000;
+            max_iterations = 50;
+          };
+      })
+    (fun socket _ ->
+      with_client socket (fun c ->
+          (* asking for more than the server cap is rejected up front *)
+          let r =
+            Result.get_ok
+              (Client.eval c ~max_derivations:100_000 ~program:"q(1).\n#query q." ())
+          in
+          check_bool "over-cap budget rejected" true (Client.error_kind r = Some "admission");
+          (* a run the budget truncates is a budget error, not partial answers *)
+          let recursive =
+            "r1: t(X, Y) :- e(X, Y).\nr2: t(X, Y) :- t(X, Z), e(Z, Y).\n#query t."
+          in
+          let chain =
+            String.concat " " (List.init 8 (fun i -> Printf.sprintf "e(%d, %d)." i (i + 1)))
+          in
+          let r =
+            Result.get_ok
+              (Client.eval c ~pipeline:"none" ~max_iterations:1 ~edb:chain ~program:recursive
+                 ())
+          in
+          check_bool "truncated run is a budget error" true
+            (Client.error_kind r = Some "budget");
+          check_bool "no partial answers" true (Client.answers r = []);
+          (* oversized program *)
+          let big = "q(1)." ^ String.make 5000 ' ' in
+          let r = Result.get_ok (Client.eval c ~program:big ()) in
+          check_bool "oversized program rejected" true
+            (Client.error_kind r = Some "oversized")))
+
+let test_server_stats_and_queryless () =
+  with_server "stats" (fun socket _ ->
+      with_client socket (fun c ->
+          check_bool "ping" true (Client.is_ok (Result.get_ok (Client.ping c)));
+          (* a query-less program falls back to the identity pipeline *)
+          let r = Result.get_ok (Client.eval c ~tenant:"alice" ~program:"p(1). p(2)." ()) in
+          check_bool "queryless ok" true (Client.is_ok r);
+          check_bool "pipeline recorded as none" true
+            (Option.bind (Json.member "pipeline" r) Json.to_str = Some "none");
+          let s = Result.get_ok (Client.stats c) in
+          check_bool "stats ok" true (Client.is_ok s);
+          let member path j =
+            List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+          in
+          check_bool "requests counted" true
+            (match Option.bind (member [ "server"; "requests" ] s) Json.to_int with
+            | Some n -> n >= 2
+            | None -> false);
+          check_bool "tenant row present" true
+            (match Option.bind (member [ "tenants" ] s) Json.to_list with
+            | Some rows ->
+                List.exists
+                  (fun row -> Option.bind (Json.member "tenant" row) Json.to_str = Some "alice")
+                  rows
+            | None -> false)))
+
+let test_server_malformed_frames () =
+  with_server "malformed" (fun socket _ ->
+      (* raw socket: drive the framing layer directly *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+          let r = Protocol.reader (fun buf off len -> Unix.read fd buf off len) in
+          (* garbage header: one malformed error response, then close *)
+          send "notanumber\n";
+          (match Protocol.read_frame r with
+          | Ok payload ->
+              let j = Result.get_ok (Json.parse payload) in
+              check_bool "malformed frame reported" true
+                (Option.bind (Json.member "error" j)
+                   (fun e -> Option.bind (Json.member "kind" e) Json.to_str)
+                = Some "malformed")
+          | Error e -> Alcotest.failf "expected a response, got %s" (Protocol.frame_error_to_string e));
+          check_bool "connection closed after bad header" true
+            (Protocol.read_frame r = Error Protocol.Closed));
+      (* unparseable JSON in a well-formed frame: structured error, stream keeps going *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let send s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+          let r = Protocol.reader (fun buf off len -> Unix.read fd buf off len) in
+          let payload = "{\"op\": \"eval\",}\n" in
+          send (Printf.sprintf "%d\n%s" (String.length payload) payload);
+          (match Protocol.read_frame r with
+          | Ok resp ->
+              let j = Result.get_ok (Json.parse resp) in
+              check_bool "bad JSON is a malformed response" true
+                (Option.bind (Json.member "error" j)
+                   (fun e -> Option.bind (Json.member "kind" e) Json.to_str)
+                = Some "malformed")
+          | Error e -> Alcotest.failf "expected a response, got %s" (Protocol.frame_error_to_string e));
+          (* the same connection still answers a valid request *)
+          let b = Buffer.create 64 in
+          Protocol.write_frame b (Protocol.ping_request_json ());
+          send (Buffer.contents b);
+          match Protocol.read_frame r with
+          | Ok resp ->
+              let j = Result.get_ok (Json.parse resp) in
+              check_bool "connection survives bad JSON" true
+                (Option.bind (Json.member "status" j) Json.to_str = Some "ok")
+          | Error e -> Alcotest.failf "expected pong, got %s" (Protocol.frame_error_to_string e)))
+
+let test_server_oversized_frame () =
+  with_server "bigframe"
+    ~configure:(fun c -> { c with Server.max_frame_bytes = 256 })
+    (fun socket _ ->
+      with_client socket (fun c ->
+          (* the whole frame blows the transport limit before admission sees it *)
+          match Client.eval c ~program:(String.make 1024 ' ') () with
+          | Ok r -> check_bool "oversized frame" true (Client.error_kind r = Some "oversized")
+          | Error _ ->
+              (* the server may close after the framing error before the
+                 response is read; either way it must not crash *)
+              ()))
+
+let test_server_shutdown_drains () =
+  let socket = test_socket "drain" in
+  let t = Server.start (Server.default_config ~socket_path:socket) in
+  with_client socket (fun c ->
+      (* a request already on the wire when stop lands still gets answered *)
+      let fd_response =
+        let j = Result.get_ok (Client.eval c ~edb:ex41_edb ~program:ex41_program ()) in
+        check_bool "pre-stop request ok" true (Client.is_ok j);
+        Server.stop t;
+        (* the next request races the drain: it must get either a normal
+           answer or a structured shutting_down error, never a broken pipe *)
+        match Client.eval c ~edb:ex41_edb ~program:ex41_program () with
+        | Ok j -> Client.is_ok j || Client.error_kind j = Some "shutting_down"
+        | Error _ -> true (* connection already drained and closed: also clean *)
+      in
+      check_bool "in-flight drain" true fd_response);
+  Server.wait t;
+  check_bool "socket unlinked after drain" false (Sys.file_exists socket);
+  check_bool "new connections refused" true (Result.is_error (Client.connect socket))
+
+let test_server_concurrent_clients () =
+  with_server "concurrent" (fun socket _ ->
+      let expected =
+        with_client socket (fun c ->
+            Client.answers (Result.get_ok (Client.eval c ~edb:ex41_edb ~program:ex41_program ())))
+      in
+      let domains =
+        Array.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                with_client socket (fun c ->
+                    List.init 5 (fun _ ->
+                        let r =
+                          Result.get_ok
+                            (Client.eval c
+                               ~tenant:(Printf.sprintf "tenant%d" i)
+                               ~edb:ex41_edb ~program:ex41_program ())
+                        in
+                        Client.is_ok r && Client.answers r = expected))))
+      in
+      Array.iter
+        (fun d -> check_bool "every concurrent response correct" true
+            (List.for_all Fun.id (Domain.join d)))
+        domains)
+
+let () =
+  Alcotest.run "cql_serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+          Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "bad header" `Quick test_frame_bad_header;
+          Alcotest.test_case "truncated" `Quick test_frame_truncated;
+          Alcotest.test_case "too large" `Quick test_frame_too_large;
+        ] );
+      ( "requests", [ Alcotest.test_case "decoding" `Quick test_request_of_json ] );
+      ( "plan-cache", [ Alcotest.test_case "LRU + counters" `Quick test_plan_cache_lru ] );
+      ( "admission", [ Alcotest.test_case "verdicts" `Quick test_admission ] );
+      ( "server",
+        [
+          Alcotest.test_case "cache miss then hit" `Quick test_server_cache_miss_then_hit;
+          Alcotest.test_case "parse errors are structured" `Quick test_server_parse_error;
+          Alcotest.test_case "admission + budget" `Quick test_server_admission_and_budget;
+          Alcotest.test_case "stats + queryless" `Quick test_server_stats_and_queryless;
+          Alcotest.test_case "malformed frames" `Quick test_server_malformed_frames;
+          Alcotest.test_case "oversized frame" `Quick test_server_oversized_frame;
+          Alcotest.test_case "shutdown drains in-flight" `Quick test_server_shutdown_drains;
+          Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
+        ] );
+    ]
