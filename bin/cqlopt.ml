@@ -334,8 +334,11 @@ let fuzz_cmd =
             | exception Parser.Error msg ->
                 Printf.eprintf "%s: %s\n" path msg;
                 1
-            | p, edb -> (
-                match H.replay p edb with
+            | p, edb, updates -> (
+                let result =
+                  if updates = [] then H.replay p edb else H.replay_update p edb updates
+                in
+                match result with
                 | None ->
                     print_endline "replay: all oracles passed";
                     0
@@ -344,35 +347,45 @@ let fuzz_cmd =
                       (H.oracle_name f.H.oracle) f.H.pipeline f.H.detail;
                     1)))
     | None -> (
-        match G.mode_of_string mode with
-        | None ->
-            Printf.eprintf "unknown mode %S (use decidable or linear)\n" mode;
-            1
-        | Some m -> (
-            let config = G.default m in
-            let tamper = if inject_bug then Some H.drop_disjuncts else None in
-            let s = H.run ?tamper ~config ~seed ~count () in
-            Format.printf "%a" H.pp_summary s;
-            match s.H.failure with
+        let report (s : H.summary) =
+          Format.printf "%a" H.pp_summary s;
+          match s.H.failure with
+          | None ->
+              if inject_bug then begin
+                print_endline "injected bug was NOT caught";
+                1
+              end
+              else 0
+          | Some f ->
+              let doc = H.counterexample_to_string s f in
+              let oc = open_out out in
+              output_string oc doc;
+              close_out oc;
+              Printf.printf "counterexample (%d rules, %d facts, %d updates) written to %s\n"
+                (List.length f.H.program.Program.rules)
+                (List.length f.H.edb) (List.length f.H.updates) out;
+              if inject_bug then begin
+                print_endline "injected bug caught as intended";
+                0
+              end
+              else 1
+        in
+        match mode with
+        | "update" ->
+            if inject_bug then begin
+              prerr_endline "--inject-bug targets the rewrite oracles, not --mode update";
+              1
+            end
+            else report (H.run_update ~seed ~count ())
+        | _ -> (
+            match G.mode_of_string mode with
             | None ->
-                if inject_bug then begin
-                  print_endline "injected bug was NOT caught";
-                  1
-                end
-                else 0
-            | Some f ->
-                let doc = H.counterexample_to_string s f in
-                let oc = open_out out in
-                output_string oc doc;
-                close_out oc;
-                Printf.printf "counterexample (%d rules, %d facts) written to %s\n"
-                  (List.length f.H.program.Program.rules)
-                  (List.length f.H.edb) out;
-                if inject_bug then begin
-                  print_endline "injected bug caught as intended";
-                  0
-                end
-                else 1))
+                Printf.eprintf "unknown mode %S (use decidable, linear or update)\n" mode;
+                1
+            | Some m ->
+                let config = G.default m in
+                let tamper = if inject_bug then Some H.drop_disjuncts else None in
+                report (H.run ?tamper ~config ~seed ~count ())))
     in
     print_solver_stats solver_stats;
     emit_tracing trace_json metrics;
@@ -384,7 +397,8 @@ let fuzz_cmd =
   in
   let mode =
     Arg.(value & opt string "decidable" & info [ "mode" ] ~docv:"MODE"
-           ~doc:"Constraint mode: decidable (Theorem 5.1 class) or linear (full fragment)")
+           ~doc:"Constraint mode: decidable (Theorem 5.1 class), linear (full fragment) \
+                 or update (incremental view maintenance vs from-scratch re-evaluation)")
   in
   let inject_bug =
     Arg.(value & flag & info [ "inject-bug" ]
@@ -662,8 +676,127 @@ let bench_serve_cmd =
        ~doc:"Load-test cqlserved: N clients x M requests, latency percentiles and throughput")
     term
 
+(* ----- bench incremental ----- *)
+
+(* Example 1.1's flights program over a generated acyclic chain network: a
+   single-leg retraction (and the re-insertion that undoes it) maintained
+   incrementally, timed against re-evaluating the whole fixpoint from
+   scratch on the same EDB. *)
+let bench_incremental_cmd =
+  let module J = Cql_serve.Json in
+  let module Engine = Cql_eval.Engine in
+  let module Fact = Cql_eval.Fact in
+  let flights_src =
+    "r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.\n\
+     r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.\n\
+     r3: flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost), Cost > 0, Time > 0.\n\
+     r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),\n\
+    \     T = T1 + T2 + 30, C = C1 + C2.\n\
+     #query cheaporshort.\n"
+  in
+  let chain_edb legs =
+    List.init legs (fun i ->
+        Printf.sprintf "singleleg(city%d, city%d, %d, %d)." i (i + 1)
+          (20 + ((i * 37) mod 120))
+          (15 + ((i * 53) mod 140)))
+    |> String.concat "\n"
+  in
+  let run legs updates out =
+    let max_iterations = 1_000 and max_derivations = 5_000_000 in
+    let p = Parser.program_of_string flights_src in
+    let edb = List.map Fact.of_fact_rule (Parser.facts_of_string (chain_edb legs)) in
+    let time f =
+      let t0 = Cql_obs.Obs.monotonic_ns () in
+      let r = f () in
+      (r, Int64.to_float (Int64.sub (Cql_obs.Obs.monotonic_ns ()) t0) /. 1e6)
+    in
+    let scratch_answers edb =
+      let res = Engine.run ~jobs:1 ~max_iterations ~max_derivations p ~edb in
+      if not (Engine.stats res).Engine.reached_fixpoint then
+        failwith "bench incremental: from-scratch run truncated (raise the budgets)";
+      List.sort Fact.compare (Engine.answers res p)
+    in
+    let (vw, ms0), materialize_ms =
+      time (fun () -> Engine.materialize ~jobs:1 ~max_iterations ~max_derivations p ~edb)
+    in
+    Fun.protect ~finally:(fun () -> Engine.close_view vw) @@ fun () ->
+    if not ms0.Engine.m_complete then failwith "bench incremental: materialization truncated";
+    let maintain_ms = ref [] and scratch_ms = ref [] in
+    let answers_match = ref true in
+    let check_step () =
+      let answers, s_ms = time (fun () -> scratch_answers (Engine.view_edb vw)) in
+      scratch_ms := s_ms :: !scratch_ms;
+      if answers <> Engine.view_answers vw then answers_match := false
+    in
+    let leg_facts = Array.of_list edb in
+    for step = 0 to updates - 1 do
+      (* spread the retractions over the chain; middle legs delete the most *)
+      let victim = leg_facts.(((step * 7) + 3) mod legs) in
+      let ms_r, r_ms = time (fun () -> Engine.retract vw [ victim ]) in
+      maintain_ms := r_ms :: !maintain_ms;
+      if not ms_r.Engine.m_complete then failwith "bench incremental: retract truncated";
+      check_step ();
+      let ms_i, i_ms = time (fun () -> Engine.insert vw [ victim ]) in
+      maintain_ms := i_ms :: !maintain_ms;
+      if not ms_i.Engine.m_complete then failwith "bench incremental: insert truncated";
+      check_step ()
+    done;
+    let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (max 1 (List.length l)) in
+    let p50 l =
+      match List.sort compare l with [] -> 0.0 | s -> List.nth s (List.length s / 2)
+    in
+    let maintain = !maintain_ms and scratch = !scratch_ms in
+    let speedup = if mean maintain > 0.0 then mean scratch /. mean maintain else 0.0 in
+    let faster = mean maintain < mean scratch in
+    Printf.printf "legs=%d updates=%d facts=%d answers_match=%b\n" legs updates
+      (Engine.view_total vw) !answers_match;
+    Printf.printf "materialize=%.2fms maintain: mean=%.3fms p50=%.3fms (%d ops)\n"
+      materialize_ms (mean maintain) (p50 maintain) (List.length maintain);
+    Printf.printf "from-scratch: mean=%.3fms p50=%.3fms; speedup=%.1fx faster=%b\n"
+      (mean scratch) (p50 scratch) speedup faster;
+    let payload =
+      J.Obj
+        [
+          ("program", J.Str "flights (Example 1.1)");
+          ("network", J.Str (Printf.sprintf "acyclic chain, %d legs" legs));
+          ("updates", J.Int (List.length maintain));
+          ("facts", J.Int (Engine.view_total vw));
+          ("materialize_ms", J.Float materialize_ms);
+          ("maintain_mean_ms", J.Float (mean maintain));
+          ("maintain_p50_ms", J.Float (p50 maintain));
+          ("scratch_mean_ms", J.Float (mean scratch));
+          ("scratch_p50_ms", J.Float (p50 scratch));
+          ("speedup", J.Float speedup);
+          ("maintenance_faster", J.Bool faster);
+          ("answers_match", J.Bool !answers_match);
+        ]
+    in
+    merge_bench_file out "incremental" payload;
+    Printf.printf "merged experiments.incremental into %s\n" out;
+    if !answers_match && faster then 0 else 1
+  in
+  let legs =
+    Arg.(value & opt int 48 & info [ "legs" ] ~docv:"N"
+           ~doc:"Single-leg flights in the generated chain network")
+  in
+  let updates =
+    Arg.(value & opt int 12 & info [ "updates" ] ~docv:"K"
+           ~doc:"Retract/re-insert cycles (each timed against a from-scratch run)")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_results.json" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Benchmark results file to merge experiments.incremental into")
+  in
+  let term = Term.(const run $ legs $ updates $ out) in
+  Cmd.v
+    (Cmd.info "incremental"
+       ~doc:"Update-stream benchmark: incremental view maintenance vs from-scratch \
+             re-evaluation on the flights program")
+    term
+
 let bench_cmd =
-  Cmd.group (Cmd.info "bench" ~doc:"Service benchmarks") [ bench_serve_cmd ]
+  Cmd.group (Cmd.info "bench" ~doc:"Service benchmarks")
+    [ bench_serve_cmd; bench_incremental_cmd ]
 
 let () =
   let doc = "Pushing constraint selections: CQL program optimizer (Srivastava & Ramakrishnan)" in

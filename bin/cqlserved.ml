@@ -9,8 +9,8 @@
 open Cql_serve
 open Cmdliner
 
-let serve socket workers plan_cache_entries max_program_kb max_inflight max_derivations
-    max_iterations trace_json metrics =
+let serve socket workers plan_cache_entries view_cache_entries max_program_kb max_inflight
+    max_derivations max_iterations trace_json metrics =
   if trace_json <> None || metrics then Cql_obs.Obs.set_enabled true;
   let config =
     {
@@ -24,6 +24,7 @@ let serve socket workers plan_cache_entries max_program_kb max_inflight max_deri
           max_iterations;
         };
       plan_cache_entries;
+      view_cache_entries;
       max_frame_bytes = Protocol.max_frame_default;
     }
   in
@@ -62,6 +63,11 @@ let plan_cache_arg =
   Arg.(value & opt int 256 & info [ "plan-cache" ] ~docv:"N"
          ~doc:"Maximum compiled plans kept in the LRU plan cache")
 
+let view_cache_arg =
+  Arg.(value & opt int 64 & info [ "view-cache" ] ~docv:"N"
+         ~doc:"Maximum live materialized views kept per process (LRU; an evicted \
+               view must be re-materialized before further insert/retract)")
+
 let max_program_kb_arg =
   Arg.(value & opt int 1024 & info [ "max-program-kb" ] ~docv:"KB"
          ~doc:"Reject programs larger than this (admission control)")
@@ -90,9 +96,9 @@ let metrics_arg =
 
 let () =
   let term =
-    Term.(const serve $ socket_arg $ workers_arg $ plan_cache_arg $ max_program_kb_arg
-          $ max_inflight_arg $ max_derivations_arg $ max_iterations_arg $ trace_json_arg
-          $ metrics_arg)
+    Term.(const serve $ socket_arg $ workers_arg $ plan_cache_arg $ view_cache_arg
+          $ max_program_kb_arg $ max_inflight_arg $ max_derivations_arg $ max_iterations_arg
+          $ trace_json_arg $ metrics_arg)
   in
   let info =
     Cmd.info "cqlserved" ~version:"1.0.0"

@@ -169,8 +169,7 @@ type backend = {
   bk_thaw : unit -> unit;
 }
 
-let indexed_backend () =
-  let store = Store.create () in
+let indexed_backend_of store =
   {
     bk_add = (fun _iter f -> Store.add store f);
     bk_known = (fun f -> Store.known_subsumes store f);
@@ -197,6 +196,8 @@ let indexed_backend () =
     bk_freeze = (fun () -> Store.freeze store);
     bk_thaw = (fun () -> Store.thaw store);
   }
+
+let indexed_backend () = indexed_backend_of (Store.create ())
 
 (* the seed engine's storage: per-predicate assoc lists of (fact, iteration
    tag), linear subsumption scans, body literals evaluated in program order *)
@@ -347,6 +348,41 @@ let tasks_of_iteration bk jobs rule_plans =
     rule_plans;
   Array.of_list (List.rev !tasks)
 
+(* One match/join phase over every rule plan.  With a pool the store is
+   frozen and the candidate fan-out runs on worker domains; either way the
+   returned production list is in the exact sequential enumeration order,
+   so the (sequential) merge that follows behaves identically. *)
+let produce_round bk pool jobs rule_plans =
+  match pool with
+  | None ->
+      (* exact sequential path: no task slicing, no synchronization *)
+      let produced = ref [] in
+      List.iter
+        (fun ((r : Rule.t), plans) ->
+          List.iter
+            (fun plan ->
+              choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
+                  match derive_head r theta cstr with
+                  | None -> ()
+                  | Some f -> produced := (r.Rule.label, f, used) :: !produced))
+            plans)
+        rule_plans;
+      List.rev !produced
+  | Some pool ->
+      (* workers only read the store (frozen for the phase) and emit into
+         per-task buffers; concatenation in task order reproduces the
+         sequential production order exactly *)
+      bk.bk_freeze ();
+      let outs =
+        Fun.protect
+          ~finally:(fun () -> bk.bk_thaw ())
+          (fun () ->
+            let tasks = tasks_of_iteration bk jobs rule_plans in
+            Obs.add_field "tasks" (Array.length tasks);
+            Pool.map pool (run_task bk) tasks)
+      in
+      List.concat (Array.to_list outs)
+
 let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced = false)
     (p : Program.t) ~(edb : Fact.t list) =
   Obs.span "engine.run" @@ fun () ->
@@ -433,37 +469,7 @@ let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced
      domain pool; the merge phase below stays sequential either way, so the
      two paths produce identical results (see [run_task]). *)
   let pool = if jobs > 1 then Some (Pool.create ~jobs) else None in
-  let produce () =
-    match pool with
-    | None ->
-        (* exact sequential path: no task slicing, no synchronization *)
-        let produced = ref [] in
-        List.iter
-          (fun ((r : Rule.t), plans) ->
-            List.iter
-              (fun plan ->
-                choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
-                    match derive_head r theta cstr with
-                    | None -> ()
-                    | Some f -> produced := (r.Rule.label, f, used) :: !produced))
-              plans)
-          rule_plans;
-        List.rev !produced
-    | Some pool ->
-        (* workers only read the store (frozen for the phase) and emit into
-           per-task buffers; concatenation in task order reproduces the
-           sequential production order exactly *)
-        bk.bk_freeze ();
-        let outs =
-          Fun.protect
-            ~finally:(fun () -> bk.bk_thaw ())
-            (fun () ->
-              let tasks = tasks_of_iteration bk jobs rule_plans in
-              Obs.add_field "tasks" (Array.length tasks);
-              Pool.map pool (run_task bk) tasks)
-        in
-        List.concat (Array.to_list outs)
-  in
+  let produce () = produce_round bk pool jobs rule_plans in
   Fun.protect
     ~finally:(fun () -> match pool with Some p -> Pool.shutdown p | None -> ())
     (fun () ->
@@ -595,3 +601,505 @@ let run_stratified ?(indexed = true) ?jobs ?max_iterations ?max_derivations (p :
             subsumptions_avoided = !subsumptions_avoided;
           };
       }
+
+(* ----- incremental view maintenance ----- *)
+
+(* A materialized view keeps the fixpoint of one program alive across EDB
+   changes.  Insertions are ordinary semi-naive rounds seeded from the new
+   facts (the pending partition becomes the delta at the first boundary).
+   Deletions are DRed: over-delete everything transitively supported by the
+   retracted facts, then re-derive the over-deleted facts that still have
+   support from the surviving part of the store.
+
+   The twist relative to textbook DRed is the support graph: every rule
+   firing {head; label; body facts} is recorded, so both phases of deletion
+   are pure graph walks — no joins, no solver calls — and facts outside the
+   deleted cone are never re-proved.  Per-fact support counts (EDB
+   multiplicity + live firings, kept in lib/store) fall out of the graph
+   and are what the update-oracle fuzz mode cross-checks against a
+   from-scratch run.
+
+   Constraint subsumption needs one extra piece of state: a fact can be
+   dropped on arrival (or killed by back-subsumption) because a live fact
+   covers it.  Such facts are remembered in [vw_covered]; when a retraction
+   removes the last cover of a still-supported covered fact, it resurrects
+   through a normal insertion round. *)
+
+type firing = {
+  fr_label : string;
+  fr_head : Fact.t;
+  fr_body : Fact.t list; (* in body-literal order; [] for fact rules *)
+  mutable fr_dead : bool;
+}
+
+type maintain_stats = {
+  m_op : string;
+  m_batch : int;
+  m_inserted : int; (* EDB facts newly stored (not dups/covered) *)
+  m_retracted : int; (* EDB occurrences removed *)
+  m_noops : int; (* retractions of absent facts / duplicate inserts *)
+  m_derivations : int; (* rule firings merged during the rounds *)
+  m_over_deleted : int; (* facts provisionally deleted by DRed *)
+  m_rederived : int; (* over-deleted facts rescued by re-derivation *)
+  m_resurrected : int; (* covered facts revived by a dying cover *)
+  m_deleted : int; (* facts physically removed *)
+  m_iterations : int;
+  m_complete : bool; (* rounds reached fixpoint within the budget *)
+}
+
+type view = {
+  vw_program : Program.t;
+  vw_store : Store.t;
+  vw_bk : backend;
+  vw_rule_plans : (Rule.t * Planner.plan list) list;
+  vw_fact_rules : Rule.t list;
+  vw_pool : Pool.t option;
+  vw_jobs : int;
+  vw_max_iterations : int option;
+  vw_max_derivations : int option;
+  mutable vw_edb : Fact.t list; (* EDB multiset, newest first *)
+  mutable vw_supports : firing list FactMap.t; (* head fact -> firings *)
+  mutable vw_uses : firing list FactMap.t; (* body fact -> firings *)
+  mutable vw_covered : unit FactMap.t; (* subsumed or back-subsumed facts *)
+  mutable vw_complete : bool; (* no maintenance round was ever truncated *)
+  mutable vw_closed : bool;
+}
+
+let ctr_inserted = Obs.counter "engine.maintain.inserted"
+let ctr_retracted = Obs.counter "engine.maintain.retracted"
+let ctr_over_deleted = Obs.counter "engine.maintain.over_deleted"
+let ctr_rederived = Obs.counter "engine.maintain.rederived"
+
+let check_open vw who = if vw.vw_closed then invalid_arg (who ^ ": view is closed")
+let edb_mult vw f = List.length (List.filter (fun g -> Fact.compare g f = 0) vw.vw_edb)
+
+let live_firings vw f =
+  match FactMap.find_opt f vw.vw_supports with
+  | None -> []
+  | Some l -> List.filter (fun fr -> not fr.fr_dead) l
+
+(* a fact's support: EDB multiplicity plus live firings producing it *)
+let support vw f = edb_mult vw f + List.length (live_firings vw f)
+
+let dedup_facts fs =
+  List.fold_left (fun acc f -> if FactMap.mem f acc then acc else FactMap.add f () acc) FactMap.empty fs
+  |> FactMap.bindings |> List.map fst
+
+(* Record a firing unless a structurally identical live one exists (a
+   resurrected fact re-enumerates joins that were already recorded while it
+   was live the first time).  Returns whether the firing was new. *)
+let add_firing vw label head body =
+  let same fr =
+    fr.fr_label = label
+    && (not fr.fr_dead)
+    && List.length fr.fr_body = List.length body
+    && List.for_all2 (fun a b -> Fact.compare a b = 0) fr.fr_body body
+  in
+  let existing = match FactMap.find_opt head vw.vw_supports with None -> [] | Some l -> l in
+  if List.exists same existing then false
+  else begin
+    let fr = { fr_label = label; fr_head = head; fr_body = body; fr_dead = false } in
+    vw.vw_supports <- FactMap.add head (fr :: existing) vw.vw_supports;
+    List.iter
+      (fun b ->
+        let l = match FactMap.find_opt b vw.vw_uses with None -> [] | Some l -> l in
+        vw.vw_uses <- FactMap.add b (fr :: l) vw.vw_uses)
+      (dedup_facts body);
+    true
+  end
+
+(* drop every dead firing (and every entry of vanished facts) from the maps *)
+let compact_graph vw gone =
+  let prune l = List.filter (fun fr -> not fr.fr_dead) l in
+  let sweep m =
+    FactMap.filter_map
+      (fun f l ->
+        if FactMap.mem f gone then None
+        else match prune l with [] -> None | l -> Some l)
+      m
+  in
+  vw.vw_supports <- sweep vw.vw_supports;
+  vw.vw_uses <- sweep vw.vw_uses
+
+(* mutable accumulator threaded through one maintenance operation *)
+type mstate = {
+  mutable s_inserted : int;
+  mutable s_retracted : int;
+  mutable s_noops : int;
+  mutable s_derivations : int;
+  mutable s_over_deleted : int;
+  mutable s_rederived : int;
+  mutable s_resurrected : int;
+  mutable s_deleted : int;
+  mutable s_iterations : int;
+  mutable s_deriv_left : int;
+}
+
+let spend ms = 
+  ms.s_derivations <- ms.s_derivations + 1;
+  ms.s_deriv_left <- ms.s_deriv_left - 1;
+  if ms.s_deriv_left <= 0 then raise Budget_exhausted
+
+(* Merge one round's productions into the view: structural duplicates bump
+   the stored fact's count (a new support), covered arrivals are remembered
+   for possible resurrection, genuinely new facts enter the pending
+   partition.  Returns how many facts were added. *)
+let view_merge vw ms produced =
+  let added = ref 0 in
+  List.iter
+    (fun (label, f, used) ->
+      spend ms;
+      match Store.find_equal vw.vw_store f with
+      | Some g -> if add_firing vw label g used then Store.bump_count vw.vw_store g
+      | None ->
+          if Store.known_subsumes vw.vw_store f then begin
+            ignore (add_firing vw label f used);
+            vw.vw_covered <- FactMap.add f () vw.vw_covered
+          end
+          else begin
+            let killed = Store.add_reporting vw.vw_store f in
+            List.iter (fun k -> vw.vw_covered <- FactMap.add k () vw.vw_covered) killed;
+            ignore (add_firing vw label f used);
+            Store.set_count vw.vw_store f (support vw f);
+            incr added
+          end)
+    produced;
+  !added
+
+(* Semi-naive rounds until fixpoint: whatever sits in the pending partition
+   becomes the delta at the first boundary.  Raises Exit / Budget_exhausted
+   on truncation (callers convert that into m_complete = false). *)
+let view_rounds vw ms ~max_iterations =
+  let continue_ = ref true in
+  while !continue_ do
+    let iter = ms.s_iterations + 1 in
+    (match max_iterations with Some cap when iter > cap -> raise Exit | _ -> ());
+    ms.s_iterations <- iter;
+    vw.vw_bk.bk_advance ();
+    let produced = produce_round vw.vw_bk vw.vw_pool vw.vw_jobs vw.vw_rule_plans in
+    if view_merge vw ms produced = 0 then continue_ := false
+  done
+
+(* one EDB insertion, before the rounds run *)
+let insert_edb vw ms f =
+  vw.vw_edb <- f :: vw.vw_edb;
+  match Store.find_equal vw.vw_store f with
+  | Some g ->
+      (* already live: one more support *)
+      Store.bump_count vw.vw_store g;
+      ms.s_noops <- ms.s_noops + 1
+  | None ->
+      if Store.known_subsumes vw.vw_store f then begin
+        vw.vw_covered <- FactMap.add f () vw.vw_covered;
+        ms.s_noops <- ms.s_noops + 1
+      end
+      else begin
+        let killed = Store.add_reporting vw.vw_store f in
+        List.iter (fun k -> vw.vw_covered <- FactMap.add k () vw.vw_covered) killed;
+        Store.set_count vw.vw_store f (support vw f);
+        ms.s_inserted <- ms.s_inserted + 1
+      end
+
+(* DRed on the support graph.  [gone_seeds] are facts that ceased to exist
+   without ever being live (dropped covered facts); [live_seeds] are live
+   facts whose EDB support vanished.  Every firing reachable from a seed is
+   provisionally killed and every live head it supported provisionally
+   deleted; the re-derivation pass then revives firings whose bodies
+   survived and rescues their heads.  Returns the facts actually removed. *)
+let dred vw ms ~live_seeds ~gone_seeds =
+  let d = ref FactMap.empty in
+  let killed = ref [] in
+  let queue = Queue.create () in
+  List.iter
+    (fun f ->
+      if not (FactMap.mem f !d) then begin
+        d := FactMap.add f () !d;
+        Queue.add f queue
+      end)
+    live_seeds;
+  List.iter (fun f -> Queue.add f queue) gone_seeds;
+  while not (Queue.is_empty queue) do
+    let f = Queue.pop queue in
+    List.iter
+      (fun fr ->
+        if not fr.fr_dead then begin
+          fr.fr_dead <- true;
+          killed := fr :: !killed;
+          let h = fr.fr_head in
+          if Store.mem_equal vw.vw_store h && not (FactMap.mem h !d) then begin
+            d := FactMap.add h () !d;
+            Queue.add h queue
+          end
+        end)
+      (match FactMap.find_opt f vw.vw_uses with None -> [] | Some l -> l)
+  done;
+  let gone0 =
+    List.fold_left (fun acc f -> FactMap.add f () acc) FactMap.empty gone_seeds
+  in
+  ms.s_over_deleted <- ms.s_over_deleted + FactMap.cardinal !d;
+  (* re-derivation: a fact in D survives if it has EDB support or a live
+     firing; a killed firing revives once none of its body facts is still
+     provisionally deleted (or gone for good).  Iterate to fixpoint. *)
+  let r = ref FactMap.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    FactMap.iter
+      (fun f () ->
+        if
+          (not (FactMap.mem f !r))
+          && (edb_mult vw f > 0 || live_firings vw f <> [])
+        then begin
+          r := FactMap.add f () !r;
+          changed := true
+        end)
+      !d;
+    List.iter
+      (fun fr ->
+        if fr.fr_dead then begin
+          let body_ok b =
+            (not (FactMap.mem b gone0))
+            && ((not (FactMap.mem b !d)) || FactMap.mem b !r)
+          in
+          if List.for_all body_ok fr.fr_body then begin
+            fr.fr_dead <- false;
+            changed := true
+          end
+        end)
+      !killed
+  done;
+  let deleted =
+    FactMap.fold (fun f () acc -> if FactMap.mem f !r then acc else f :: acc) !d []
+  in
+  ms.s_rederived <- ms.s_rederived + FactMap.cardinal !r;
+  ms.s_deleted <- ms.s_deleted + List.length deleted;
+  (* physical deletion, then recount the survivors *)
+  List.iter (fun f -> ignore (Store.delete vw.vw_store f)) deleted;
+  let all_gone =
+    List.fold_left (fun acc f -> FactMap.add f () acc) gone0 deleted
+  in
+  compact_graph vw all_gone;
+  FactMap.iter
+    (fun f () ->
+      if FactMap.mem f !r then Store.set_count vw.vw_store f (support vw f))
+    !d;
+  (deleted, all_gone)
+
+(* After deletions, covered facts whose cover died either resurrect (still
+   supported) or vanish (cascading into another DRed pass). *)
+let covered_sweep vw =
+  let resurrect = ref [] and gone = ref [] in
+  FactMap.iter
+    (fun c () ->
+      if not (Store.known_subsumes vw.vw_store c) then
+        if support vw c > 0 then resurrect := c :: !resurrect else gone := c :: !gone)
+    vw.vw_covered;
+  List.iter
+    (fun c -> vw.vw_covered <- FactMap.remove c vw.vw_covered)
+    (!resurrect @ !gone);
+  (!resurrect, !gone)
+
+let finish_op vw ms ~op ~batch ~complete =
+  if not complete then vw.vw_complete <- false;
+  Obs.add ctr_inserted ms.s_inserted;
+  Obs.add ctr_retracted ms.s_retracted;
+  Obs.add ctr_over_deleted ms.s_over_deleted;
+  Obs.add ctr_rederived ms.s_rederived;
+  if Obs.enabled () then begin
+    Obs.add_field "batch" batch;
+    Obs.add_field "inserted" ms.s_inserted;
+    Obs.add_field "retracted" ms.s_retracted;
+    Obs.add_field "over_deleted" ms.s_over_deleted;
+    Obs.add_field "rederived" ms.s_rederived;
+    Obs.add_field "resurrected" ms.s_resurrected;
+    Obs.add_field "derivations" ms.s_derivations;
+    Obs.add_field "iterations" ms.s_iterations;
+    Obs.add_field_str "complete" (string_of_bool complete)
+  end;
+  {
+    m_op = op;
+    m_batch = batch;
+    m_inserted = ms.s_inserted;
+    m_retracted = ms.s_retracted;
+    m_noops = ms.s_noops;
+    m_derivations = ms.s_derivations;
+    m_over_deleted = ms.s_over_deleted;
+    m_rederived = ms.s_rederived;
+    m_resurrected = ms.s_resurrected;
+    m_deleted = ms.s_deleted;
+    m_iterations = ms.s_iterations;
+    m_complete = complete;
+  }
+
+let mstate_create ~max_derivations =
+  {
+    s_inserted = 0;
+    s_retracted = 0;
+    s_noops = 0;
+    s_derivations = 0;
+    s_over_deleted = 0;
+    s_rederived = 0;
+    s_resurrected = 0;
+    s_deleted = 0;
+    s_iterations = 0;
+    s_deriv_left = (match max_derivations with Some n -> n | None -> max_int);
+  }
+
+let insert ?max_iterations ?max_derivations vw facts =
+  check_open vw "Engine.insert";
+  Obs.span "engine.maintain" @@ fun () ->
+  Obs.add_field_str "op" "insert";
+  let max_iterations =
+    match max_iterations with Some _ as m -> m | None -> vw.vw_max_iterations
+  in
+  let max_derivations =
+    match max_derivations with Some _ as m -> m | None -> vw.vw_max_derivations
+  in
+  let ms = mstate_create ~max_derivations in
+  let complete =
+    try
+      List.iter (insert_edb vw ms) facts;
+      view_rounds vw ms ~max_iterations;
+      true
+    with Exit | Budget_exhausted -> false
+  in
+  finish_op vw ms ~op:"insert" ~batch:(List.length facts) ~complete
+
+let retract ?max_iterations ?max_derivations vw facts =
+  check_open vw "Engine.retract";
+  Obs.span "engine.maintain" @@ fun () ->
+  Obs.add_field_str "op" "retract";
+  let max_iterations =
+    match max_iterations with Some _ as m -> m | None -> vw.vw_max_iterations
+  in
+  let max_derivations =
+    match max_derivations with Some _ as m -> m | None -> vw.vw_max_derivations
+  in
+  let ms = mstate_create ~max_derivations in
+  let live_seeds = ref [] and gone_seeds = ref [] in
+  List.iter
+    (fun f ->
+      let rec remove_one = function
+        | [] -> None
+        | g :: rest when Fact.compare g f = 0 -> Some rest
+        | g :: rest -> Option.map (fun l -> g :: l) (remove_one rest)
+      in
+      match remove_one vw.vw_edb with
+      | None -> ms.s_noops <- ms.s_noops + 1 (* not an EDB fact: nothing to do *)
+      | Some edb' ->
+          vw.vw_edb <- edb';
+          ms.s_retracted <- ms.s_retracted + 1;
+          if Store.mem_equal vw.vw_store f then
+            if edb_mult vw f = 0 then
+              (* last EDB occurrence: over-delete even when firings remain —
+                 the remaining support may be a derivation cycle *)
+              live_seeds := f :: !live_seeds
+            else Store.set_count vw.vw_store f (support vw f)
+          else if
+            (* covered (or never-stored) fact: no store change, but if this
+               was its last support its joins must cascade *)
+            FactMap.mem f vw.vw_covered && support vw f = 0
+          then begin
+            vw.vw_covered <- FactMap.remove f vw.vw_covered;
+            gone_seeds := f :: !gone_seeds
+          end)
+    facts;
+  let complete =
+    try
+      let live = ref (dedup_facts !live_seeds) and gone = ref !gone_seeds in
+      let continue_ = ref (!live <> [] || !gone <> []) in
+      while !continue_ do
+        let _, _ = dred vw ms ~live_seeds:!live ~gone_seeds:!gone in
+        let resurrect, vanished = covered_sweep vw in
+        ms.s_resurrected <- ms.s_resurrected + List.length resurrect;
+        if resurrect <> [] then begin
+          List.iter
+            (fun c ->
+              let killed = Store.add_reporting vw.vw_store c in
+              List.iter (fun k -> vw.vw_covered <- FactMap.add k () vw.vw_covered) killed;
+              Store.set_count vw.vw_store c (support vw c))
+            resurrect;
+          view_rounds vw ms ~max_iterations
+        end;
+        live := [];
+        gone := vanished;
+        continue_ := vanished <> []
+      done;
+      true
+    with Exit | Budget_exhausted -> false
+  in
+  finish_op vw ms ~op:"retract" ~batch:(List.length facts) ~complete
+
+let materialize ?jobs ?max_iterations ?max_derivations (p : Program.t) ~edb =
+  Obs.span "engine.maintain" @@ fun () ->
+  Obs.add_field_str "op" "materialize";
+  let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
+  let store = Store.create () in
+  let bk = indexed_backend_of store in
+  let fact_rules, body_rules = List.partition Rule.is_fact p.Program.rules in
+  let vw =
+    {
+      vw_program = p;
+      vw_store = store;
+      vw_bk = bk;
+      vw_rule_plans = List.map (fun r -> (r, bk.bk_plan ~seminaive:true r)) body_rules;
+      vw_fact_rules = fact_rules;
+      vw_pool = (if jobs > 1 then Some (Pool.create ~jobs) else None);
+      vw_jobs = jobs;
+      vw_max_iterations = max_iterations;
+      vw_max_derivations = max_derivations;
+      vw_edb = [];
+      vw_supports = FactMap.empty;
+      vw_uses = FactMap.empty;
+      vw_covered = FactMap.empty;
+      vw_complete = true;
+      vw_closed = false;
+    }
+  in
+  let ms = mstate_create ~max_derivations in
+  let complete =
+    try
+      List.iter (insert_edb vw ms) edb;
+      (* bodyless rules fire once, as firings with no body: never deleted *)
+      List.iter
+        (fun (r : Rule.t) ->
+          match try_derive r [] with
+          | None -> ()
+          | Some f -> ignore (view_merge vw ms [ (r.Rule.label, f, []) ]))
+        fact_rules;
+      view_rounds vw ms ~max_iterations;
+      true
+    with Exit | Budget_exhausted -> false
+  in
+  let stats = finish_op vw ms ~op:"materialize" ~batch:(List.length edb) ~complete in
+  (vw, stats)
+
+let close_view vw =
+  if not vw.vw_closed then begin
+    vw.vw_closed <- true;
+    match vw.vw_pool with Some p -> Pool.shutdown p | None -> ()
+  end
+
+(* ----- view accessors ----- *)
+
+let view_program vw = vw.vw_program
+let view_complete vw = vw.vw_complete
+let view_edb vw = List.rev vw.vw_edb
+let view_jobs vw = vw.vw_jobs
+
+let view_facts_of vw pred = Store.facts vw.vw_store pred
+
+let view_all_facts vw =
+  List.sort compare
+    (List.map (fun (p, fs) -> (p, List.sort Fact.compare fs)) (Store.all_facts vw.vw_store))
+
+let view_answers vw =
+  match vw.vw_program.Program.query with
+  | None -> []
+  | Some q -> List.sort Fact.compare (view_facts_of vw q)
+
+let view_counts vw =
+  List.sort compare
+    (List.filter (fun (_, l) -> l <> []) (Store.counted_facts vw.vw_store))
+
+let view_total vw = Store.total vw.vw_store

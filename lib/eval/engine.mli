@@ -125,3 +125,89 @@ val run_stratified :
 
 val all_ground : result -> bool
 (** Every stored fact is ground (the property Theorems 4.4/4.6 preserve). *)
+
+(** {1 Incremental view maintenance}
+
+    {!materialize} evaluates a program once and returns a live handle;
+    {!insert} and {!retract} then maintain the fixpoint under EDB changes
+    without re-evaluating from scratch.  Insertions run ordinary semi-naive
+    delta rounds seeded from the new facts (on the view's domain pool when
+    [jobs > 1]).  Retractions are DRed over a recorded support graph:
+    every rule firing (head, label, body facts) is kept, so over-deletion
+    and re-derivation are pure graph walks and facts outside the deleted
+    cone are never re-proved.  Per-fact support counts (EDB multiplicity +
+    live firings) live in the store ({!Cql_store.Store.counted_facts}).
+
+    Constraint subsumption interacts with deletion through the covered set:
+    facts dropped on arrival (or killed by back-subsumption) because a live
+    fact covers them are remembered, and retracting their last cover
+    resurrects the ones that still have support.
+
+    Results are identical for every [jobs] value, exactly as for {!run}. *)
+
+type view
+
+type maintain_stats = {
+  m_op : string;  (** ["materialize"], ["insert"] or ["retract"] *)
+  m_batch : int;  (** facts in the request batch *)
+  m_inserted : int;  (** EDB facts newly stored (not duplicates/covered) *)
+  m_retracted : int;  (** EDB occurrences removed *)
+  m_noops : int;  (** duplicate inserts and retractions of absent facts *)
+  m_derivations : int;  (** rule firings merged during the rounds *)
+  m_over_deleted : int;  (** facts provisionally deleted by DRed *)
+  m_rederived : int;  (** over-deleted facts rescued by re-derivation *)
+  m_resurrected : int;  (** covered facts revived by a dying cover *)
+  m_deleted : int;  (** facts physically removed *)
+  m_iterations : int;
+  m_complete : bool;  (** the rounds reached fixpoint within the budget *)
+}
+
+val materialize :
+  ?jobs:int ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  Program.t ->
+  edb:Fact.t list ->
+  view * maintain_stats
+(** Evaluate the program to fixpoint and return a live view.  The budgets
+    become the view's per-operation defaults.  When truncated
+    ([m_complete = false]) the view's contents are a sound under-
+    approximation and {!view_complete} turns false. *)
+
+val insert :
+  ?max_iterations:int -> ?max_derivations:int -> view -> Fact.t list -> maintain_stats
+(** Add EDB facts and restore the fixpoint with semi-naive delta rounds.
+    Structural duplicates only bump the stored fact's support count. *)
+
+val retract :
+  ?max_iterations:int -> ?max_derivations:int -> view -> Fact.t list -> maintain_stats
+(** Remove one EDB occurrence per given fact (absent facts are counted in
+    [m_noops]) and restore the fixpoint: DRed over-deletion, re-derivation
+    from surviving support, then resurrection of covered facts whose last
+    cover died. *)
+
+val close_view : view -> unit
+(** Release the view's domain pool.  Further maintenance raises
+    [Invalid_argument]; accessors keep working. *)
+
+val view_program : view -> Program.t
+val view_complete : view -> bool
+(** False once any maintenance round was truncated by a budget; the view's
+    contents may then under-approximate the fixpoint. *)
+
+val view_edb : view -> Fact.t list
+(** The current EDB multiset, oldest first. *)
+
+val view_jobs : view -> int
+val view_facts_of : view -> string -> Fact.t list
+val view_all_facts : view -> (string * Fact.t list) list
+(** Sorted by predicate, facts sorted by {!Fact.compare}. *)
+
+val view_answers : view -> Fact.t list
+(** Query-predicate facts, sorted by {!Fact.compare}. *)
+
+val view_counts : view -> (string * (Fact.t * int) list) list
+(** Per-fact support counts (EDB multiplicity + live rule firings), sorted;
+    predicates with no live facts are omitted. *)
+
+val view_total : view -> int

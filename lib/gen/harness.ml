@@ -11,7 +11,7 @@ module Decidable = Cql_core.Decidable
 module Adorn = Cql_core.Adorn
 module Gmt = Cql_core.Gmt
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update
 
 let oracle_name = function
   | Answers -> "answers"
@@ -21,6 +21,7 @@ let oracle_name = function
   | Bound -> "bound"
   | Cache -> "cache"
   | Parallel -> "parallel"
+  | Update -> "update"
 
 let oracle_of_name = function
   | "answers" -> Answers
@@ -30,7 +31,14 @@ let oracle_of_name = function
   | "bound" -> Bound
   | "cache" -> Cache
   | "parallel" -> Parallel
+  | "update" -> Update
   | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
+
+type update_op = Insert of F.t | Retract of F.t
+
+let update_op_to_string = function
+  | Insert f -> "+ " ^ F.to_string f
+  | Retract f -> "- " ^ F.to_string f
 
 type failure = {
   oracle : oracle;
@@ -38,6 +46,7 @@ type failure = {
   detail : string;
   program : Program.t;
   edb : F.t list;
+  updates : update_op list; (* empty except for the update oracle *)
 }
 
 type stats = {
@@ -316,7 +325,9 @@ let check_bound ~max_bound_iters st p =
 let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_iters = 20)
     ~mode st p edb =
   st.cases <- st.cases + 1;
-  let fail oracle pipeline detail = Some { oracle; pipeline; detail; program = p; edb } in
+  let fail oracle pipeline detail =
+    Some { oracle; pipeline; detail; program = p; edb; updates = [] }
+  in
   let res0 = Engine.run ~max_iterations ~max_derivations p ~edb in
   if not (Engine.stats res0).Engine.reached_fixpoint then begin
     (* a truncated baseline cannot anchor equivalence; skip the case *)
@@ -552,9 +563,223 @@ let replay p edb =
   let mode = if Decidable.in_class p then Generate.Decidable else Generate.Linear in
   check_case ~mode (new_stats ()) p edb
 
+(* ----- the update-oracle differential (oracle 8) ----- *)
+
+(* Apply a random insert/retract sequence to a materialized view and, after
+   every step, compare it against a from-scratch re-evaluation of the
+   current EDB multiset: sorted answers, the full per-predicate fact state,
+   per-fact support counts and fixpoint convergence must all agree, and the
+   plain engine must agree on the answers.  Generated programs are
+   range-restricted, so every derived fact is ground and support counts are
+   arrival-order independent — incremental maintenance must reproduce them
+   exactly. *)
+
+let sorted_all_facts fs = List.sort compare (List.map (fun (p, l) -> (p, List.sort F.compare l)) fs)
+
+let view_state vw =
+  List.filter (fun (_, l) -> l <> []) (Engine.view_all_facts vw)
+
+let diff_state name a b =
+  if a <> b then Some (name ^ ": incremental and from-scratch state differ") else None
+
+let check_update_case ?(max_iterations = 25) ?(max_derivations = 20_000) st p (edb0 : F.t list)
+    (ops : update_op list) =
+  st.cases <- st.cases + 1;
+  let fail detail =
+    Some { oracle = Update; pipeline = "maintain"; detail; program = p; edb = edb0; updates = ops }
+  in
+  let vw, mst0 = Engine.materialize ~max_iterations ~max_derivations p ~edb:edb0 in
+  Fun.protect ~finally:(fun () -> Engine.close_view vw) @@ fun () ->
+  (* one differential check of the live view against fresh evaluations *)
+  let compare_now what =
+    let edb_now = Engine.view_edb vw in
+    let sv, sst = Engine.materialize ~jobs:1 ~max_iterations ~max_derivations p ~edb:edb_now in
+    Fun.protect ~finally:(fun () -> Engine.close_view sv) @@ fun () ->
+    if not sst.Engine.m_complete then `Truncated
+    else begin
+      let failure =
+        if not (Engine.view_complete vw) then
+          Some (what ^ ": incremental maintenance lost fixpoint convergence")
+        else if
+          not (List.equal F.equal (Engine.view_answers vw) (Engine.view_answers sv))
+        then Some (what ^ ": incremental and from-scratch answers differ")
+        else
+          match
+            diff_state what
+              (sorted_all_facts (view_state vw))
+              (sorted_all_facts (view_state sv))
+          with
+          | Some d -> Some d
+          | None ->
+              if Engine.view_counts vw <> Engine.view_counts sv then
+                Some (what ^ ": incremental and from-scratch support counts differ")
+              else begin
+                (* anchor to the plain engine: same answers *)
+                let r = Engine.run ~jobs:1 ~max_iterations ~max_derivations p ~edb:edb_now in
+                if not (Engine.stats r).Engine.reached_fixpoint then ()
+                else if
+                  not
+                    (List.equal F.equal
+                       (List.sort F.compare (Engine.answers r p))
+                       (Engine.view_answers vw))
+                then raise Exit;
+                None
+              end
+      in
+      match failure with
+      | Some d -> `Fail d
+      | None ->
+          st.checks <- st.checks + 1;
+          `Ok
+    end
+  in
+  let compare_now what =
+    try compare_now what
+    with Exit -> `Fail (what ^ ": view answers differ from Engine.run answers")
+  in
+  if not mst0.Engine.m_complete then begin
+    st.runs_truncated <- st.runs_truncated + 1;
+    None
+  end
+  else begin
+    st.evaluated <- st.evaluated + 1;
+    st.facts_derived <- st.facts_derived + (Engine.view_total vw - List.length edb0);
+    match compare_now "materialize" with
+    | `Truncated ->
+        st.runs_truncated <- st.runs_truncated + 1;
+        None
+    | `Fail d -> fail d
+    | `Ok ->
+        let rec steps i = function
+          | [] -> None
+          | op :: rest -> (
+              let what =
+                Printf.sprintf "step %d (%s)" i (update_op_to_string op)
+              in
+              let mst =
+                match op with
+                | Insert f -> Engine.insert vw [ f ]
+                | Retract f -> Engine.retract vw [ f ]
+              in
+              if not mst.Engine.m_complete then begin
+                st.runs_truncated <- st.runs_truncated + 1;
+                None
+              end
+              else
+                match compare_now what with
+                | `Truncated ->
+                    st.runs_truncated <- st.runs_truncated + 1;
+                    None
+                | `Fail d -> fail d
+                | `Ok -> steps (i + 1) rest)
+        in
+        steps 1 ops
+  end
+
+let replay_update p edb ops = check_update_case (new_stats ()) p edb ops
+
+(* random update sequence over a generated EDB: part of the database is
+   held back as an insert pool, retracted facts return to the pool (so
+   retract-then-reinsert sequences occur), and a small fraction of
+   retractions name absent facts (counted no-ops) *)
+let rec remove_first f = function
+  | [] -> []
+  | g :: rest -> if F.compare f g = 0 then rest else g :: remove_first f rest
+
+let gen_updates rng edb =
+  let initial, pool = List.partition (fun _ -> Rng.chance rng 0.55) edb in
+  let present = ref initial and absent = ref pool in
+  let n = 3 + Rng.int rng 10 in
+  let ops = ref [] in
+  for _ = 1 to n do
+    let do_insert =
+      match (!present, !absent) with
+      | _, [] -> false
+      | [], _ -> true
+      | _ -> Rng.chance rng 0.55
+    in
+    if do_insert then begin
+      let f = Rng.pick rng !absent in
+      absent := remove_first f !absent;
+      present := f :: !present;
+      ops := Insert f :: !ops
+    end
+    else if !present = [] then () (* empty database and empty pool: no-op *)
+    else if !absent <> [] && Rng.chance rng 0.15 then
+      ops := Retract (Rng.pick rng !absent) :: !ops
+    else begin
+      let f = Rng.pick rng !present in
+      present := remove_first f !present;
+      absent := f :: !absent;
+      ops := Retract f :: !ops
+    end
+  done;
+  (initial, List.rev !ops)
+
+(* greedy shrinking of an update failure: drop individual ops first (the
+   sequence usually minimizes to one or two), then shrink the program and
+   initial EDB with the shared reductions *)
+let shrink_update ?max_iterations ?max_derivations (f0 : failure) =
+  let budget = ref 400 in
+  let still_fails p edb ops =
+    if !budget <= 0 then None
+    else begin
+      decr budget;
+      check_update_case ?max_iterations ?max_derivations (new_stats ()) p edb ops
+    end
+  in
+  let rec go (f : failure) =
+    let drop_op =
+      List.init (List.length f.updates) (fun i -> (f.program, f.edb, remove_nth i f.updates))
+    in
+    let prog_reds =
+      List.map (fun (p', edb') -> (p', edb', f.updates)) (reductions f.program f.edb)
+    in
+    let next =
+      List.find_map (fun (p', edb', ops') -> still_fails p' edb' ops') (drop_op @ prog_reds)
+    in
+    match next with Some f' when !budget > 0 -> go f' | _ -> f
+  in
+  go f0
+
+let run_update ?config ?max_iterations ?max_derivations ~seed ~count () =
+  let config =
+    match config with
+    | Some c -> c
+    | None ->
+        (* a deeper EDB pool than the rewrite-oracle default, so update
+           sequences have facts left to insert *)
+        let c = Generate.default Generate.Decidable in
+        { c with Generate.max_edb_facts = c.Generate.max_edb_facts * 2 }
+  in
+  let rng = Rng.create seed in
+  let st = new_stats () in
+  let generate () =
+    let rec draw retries_left =
+      let case_rng = Rng.split rng in
+      match Generate.case case_rng config with
+      | case -> case
+      | exception Generate.Exhausted _ when retries_left > 0 ->
+          st.gen_retries <- st.gen_retries + 1;
+          draw (retries_left - 1)
+    in
+    draw 10
+  in
+  let rec go i =
+    if i >= count then None
+    else
+      let p, edb = generate () in
+      let initial, ops = gen_updates (Rng.split rng) edb in
+      match check_update_case ?max_iterations ?max_derivations st p initial ops with
+      | None -> go (i + 1)
+      | Some f -> Some (shrink_update ?max_iterations ?max_derivations f)
+  in
+  { seed; count; stats = st; failure = go 0 }
+
 (* ----- counterexample rendering ----- *)
 
 let edb_marker = "% --- edb ---"
+let updates_marker = "% --- updates ---"
 
 let fact_to_rule f =
   let n = F.arity f in
@@ -590,15 +815,24 @@ let counterexample_to_string (s : summary) (f : failure) =
   Buffer.add_string b edb_marker;
   Buffer.add_char b '\n';
   List.iter (fun fact -> Printf.bprintf b "%s\n" (Rule.to_string (fact_to_rule fact))) f.edb;
+  if f.updates <> [] then begin
+    Buffer.add_string b updates_marker;
+    Buffer.add_char b '\n';
+    List.iter
+      (fun op ->
+        let sign, fact = match op with Insert f -> ("+", f) | Retract f -> ("-", f) in
+        Printf.bprintf b "%s %s\n" sign (Rule.to_string (fact_to_rule fact)))
+      f.updates
+  end;
   Buffer.contents b
 
 let parse_counterexample src =
-  let prog_part, edb_part =
+  let split_on marker src =
     match
       let lines = String.split_on_char '\n' src in
       let rec split acc = function
         | [] -> None
-        | l :: rest when String.trim l = edb_marker ->
+        | l :: rest when String.trim l = marker ->
             Some (String.concat "\n" (List.rev acc), String.concat "\n" rest)
         | l :: rest -> split (l :: acc) rest
       in
@@ -607,9 +841,29 @@ let parse_counterexample src =
     | Some (a, b) -> (a, b)
     | None -> (src, "")
   in
+  let prog_part, rest = split_on edb_marker src in
+  let edb_part, updates_part = split_on updates_marker rest in
   let p = Parser.program_of_string prog_part in
   let edb = List.map F.of_fact_rule (Parser.facts_of_string edb_part) in
-  (p, edb)
+  let updates =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if String.length line < 2 || line.[0] = '%' then None
+        else
+          let clause = String.trim (String.sub line 1 (String.length line - 1)) in
+          let fact () =
+            match Parser.facts_of_string clause with
+            | [ r ] -> F.of_fact_rule r
+            | _ -> failwith ("malformed update line: " ^ line)
+          in
+          match line.[0] with
+          | '+' -> Some (Insert (fact ()))
+          | '-' -> Some (Retract (fact ()))
+          | _ -> failwith ("malformed update line: " ^ line))
+      (String.split_on_char '\n' updates_part)
+  in
+  (p, edb, updates)
 
 let _ = oracle_of_name
 

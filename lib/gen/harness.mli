@@ -28,19 +28,29 @@
       evaluation, the derivation count and the fixpoint status are identical
       between [jobs=1] (the exact sequential path) and [jobs=4], each run
       starting from a fresh cache state.
+    + {b Update} — incremental view maintenance never changes a result: a
+      random insert/retract sequence applied to a materialized view
+      ({!Cql_eval.Engine.materialize}) leaves, after {e every} step, exactly
+      the sorted answers, per-predicate fact state, per-fact support counts
+      and fixpoint status of a from-scratch re-evaluation of the current
+      EDB multiset ({!run_update}, [--mode update]).
 
     On failure the harness shrinks the case — dropping rules, EDB facts,
-    body literals and constraint atoms while the failure persists and the
-    program stays well-formed — and renders the minimal counterexample as a
-    replayable [.cql] file ({!counterexample_to_string} /
-    {!parse_counterexample}). *)
+    update ops, body literals and constraint atoms while the failure
+    persists and the program stays well-formed — and renders the minimal
+    counterexample as a replayable [.cql] file
+    ({!counterexample_to_string} / {!parse_counterexample}). *)
 
 open Cql_constr
 open Cql_datalog
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update
 
 val oracle_name : oracle -> string
+
+type update_op = Insert of Cql_eval.Fact.t | Retract of Cql_eval.Fact.t
+
+val update_op_to_string : update_op -> string
 
 type failure = {
   oracle : oracle;
@@ -48,6 +58,7 @@ type failure = {
   detail : string;
   program : Program.t;
   edb : Cql_eval.Fact.t list;
+  updates : update_op list;  (** empty except for the update oracle *)
 }
 
 type stats = {
@@ -123,6 +134,48 @@ val replay : Program.t -> Cql_eval.Fact.t list -> failure option
 (** Re-check a single case (e.g. a parsed counterexample); the mode is
     inferred with {!Cql_core.Decidable.in_class}. *)
 
+val check_update_case :
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  stats ->
+  Program.t ->
+  Cql_eval.Fact.t list ->
+  update_op list ->
+  failure option
+(** The update oracle on one explicit case: materialize the program over the
+    initial EDB, apply the ops one at a time, and after every step require
+    the view to agree with a from-scratch re-evaluation of the current EDB
+    multiset on sorted answers, full fact state, per-fact support counts and
+    fixpoint status (and with {!Cql_eval.Engine.run} on the answers).  Cases
+    where any evaluation hits a budget are skipped ([runs_truncated]). *)
+
+val replay_update :
+  Program.t -> Cql_eval.Fact.t list -> update_op list -> failure option
+(** Re-check a parsed update counterexample. *)
+
+val gen_updates : Rng.t -> Cql_eval.Fact.t list -> Cql_eval.Fact.t list * update_op list
+(** Split a generated EDB into an initial database and an insert pool and
+    draw a random update sequence: inserts from the pool, retractions of
+    present facts (which return to the pool, so retract-then-reinsert
+    occurs) and occasional retractions of absent facts. *)
+
+val shrink_update : ?max_iterations:int -> ?max_derivations:int -> failure -> failure
+(** Greedy minimization for update failures: drop individual ops first,
+    then apply the shared program/EDB reductions. *)
+
+val run_update :
+  ?config:Generate.config ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** [--mode update]: generate [count] cases (default config: decidable mode
+    with a doubled EDB pool), apply {!gen_updates} sequences incrementally
+    and check the update oracle after every step, stopping at (and
+    shrinking) the first failure. *)
+
 val drop_disjuncts : Cset.t -> Cset.t
 (** The canonical injected bug for tests: keep only the first disjunct of a
     constraint set (an unsoundly tightened constraint — what a rewrite that
@@ -131,10 +184,13 @@ val drop_disjuncts : Cset.t -> Cset.t
 
 val counterexample_to_string : summary -> failure -> string
 (** A replayable [.cql] document: header comments, the program (with
-    [#query]), a [% --- edb ---] marker, then the EDB facts as clauses. *)
+    [#query]), a [% --- edb ---] marker, the EDB facts as clauses, and —
+    for update failures — a [% --- updates ---] marker followed by one
+    [+ fact.] / [- fact.] line per op. *)
 
-val parse_counterexample : string -> Program.t * Cql_eval.Fact.t list
-(** Inverse of {!counterexample_to_string}.
+val parse_counterexample : string -> Program.t * Cql_eval.Fact.t list * update_op list
+(** Inverse of {!counterexample_to_string} (the op list is empty for
+    counterexamples of the other oracles).
     @raise Cql_datalog.Parser.Error on malformed input. *)
 
 val pp_summary : Format.formatter -> summary -> unit

@@ -57,6 +57,23 @@ let eval t ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~program 
     (Protocol.eval_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations
        ~program ())
 
+let materialize t ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~view ~program ()
+    =
+  request t
+    (Protocol.materialize_request_json ?id ?tenant ?edb ?pipeline ?max_iterations
+       ?max_derivations ~view ~program ())
+
+let insert t ?id ?tenant ?max_iterations ?max_derivations ~view ~facts () =
+  request t
+    (Protocol.update_request_json ?id ?tenant ?max_iterations ?max_derivations ~retract:false
+       ~view ~facts ())
+
+let retract t ?id ?tenant ?max_iterations ?max_derivations ~view ~facts () =
+  request t
+    (Protocol.update_request_json ?id ?tenant ?max_iterations ?max_derivations ~retract:true
+       ~view ~facts ())
+
+let query t ?id ?tenant ~view () = request t (Protocol.query_request_json ?id ?tenant ~view ())
 let ping t = request t (Protocol.ping_request_json ())
 let stats t = request t (Protocol.stats_request_json ())
 

@@ -28,6 +28,42 @@ val eval :
   unit ->
   (Json.t, string) result
 
+val materialize :
+  t ->
+  ?id:string ->
+  ?tenant:string ->
+  ?edb:string ->
+  ?pipeline:string ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  view:string ->
+  program:string ->
+  unit ->
+  (Json.t, string) result
+
+val insert :
+  t ->
+  ?id:string ->
+  ?tenant:string ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  view:string ->
+  facts:string ->
+  unit ->
+  (Json.t, string) result
+
+val retract :
+  t ->
+  ?id:string ->
+  ?tenant:string ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  view:string ->
+  facts:string ->
+  unit ->
+  (Json.t, string) result
+
+val query : t -> ?id:string -> ?tenant:string -> view:string -> unit -> (Json.t, string) result
 val ping : t -> (Json.t, string) result
 val stats : t -> (Json.t, string) result
 

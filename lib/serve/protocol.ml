@@ -8,6 +8,26 @@ type request =
       max_iterations : int option;
       max_derivations : int option;
     }
+  | Materialize of {
+      id : string option;
+      tenant : string;
+      view : string;
+      program : string;
+      edb : string;
+      pipeline : string;
+      max_iterations : int option;
+      max_derivations : int option;
+    }
+  | Update of {
+      id : string option;
+      tenant : string;
+      view : string;
+      retract : bool;
+      facts : string;
+      max_iterations : int option;
+      max_derivations : int option;
+    }
+  | Query of { id : string option; tenant : string; view : string }
   | Ping of { id : string option }
   | Stats of { id : string option }
 
@@ -17,6 +37,7 @@ type error_kind =
   | Oversized
   | Admission
   | Budget
+  | Unknown_view
   | Shutting_down
   | Internal
 
@@ -26,6 +47,7 @@ let error_kind_to_string = function
   | Oversized -> "oversized"
   | Admission -> "admission"
   | Budget -> "budget"
+  | Unknown_view -> "unknown_view"
   | Shutting_down -> "shutting_down"
   | Internal -> "internal"
 
@@ -48,18 +70,19 @@ let request_of_json j =
       | None -> Error "\"op\" must be a string"
       | Some op -> (
           let* id = opt_field "id" Json.to_str j in
+          let str_field name =
+            match Json.member name j with
+            | None -> Error (Printf.sprintf "%s request is missing %S" op name)
+            | Some v -> (
+                match Json.to_str v with
+                | Some s -> Ok s
+                | None -> Error (Printf.sprintf "%S must be a string" name))
+          in
           match op with
           | "ping" -> Ok (Ping { id })
           | "stats" -> Ok (Stats { id })
           | "eval" ->
-              let* program =
-                match Json.member "program" j with
-                | None -> Error "eval request is missing \"program\""
-                | Some v -> (
-                    match Json.to_str v with
-                    | Some s -> Ok s
-                    | None -> Error "\"program\" must be a string")
-              in
+              let* program = str_field "program" in
               let* tenant = opt_field "tenant" Json.to_str j in
               let* edb = opt_field "edb" Json.to_str j in
               let* pipeline = opt_field "pipeline" Json.to_str j in
@@ -76,17 +99,61 @@ let request_of_json j =
                      max_iterations;
                      max_derivations;
                    })
-          | op -> Error (Printf.sprintf "unknown op %S (use eval, ping or stats)" op)))
+          | "materialize" ->
+              let* view = str_field "view" in
+              let* program = str_field "program" in
+              let* tenant = opt_field "tenant" Json.to_str j in
+              let* edb = opt_field "edb" Json.to_str j in
+              let* pipeline = opt_field "pipeline" Json.to_str j in
+              let* max_iterations = opt_field "max_iterations" Json.to_int j in
+              let* max_derivations = opt_field "max_derivations" Json.to_int j in
+              Ok
+                (Materialize
+                   {
+                     id;
+                     tenant = Option.value tenant ~default:"anon";
+                     view;
+                     program;
+                     edb = Option.value edb ~default:"";
+                     pipeline = Option.value pipeline ~default:"pred,qrp";
+                     max_iterations;
+                     max_derivations;
+                   })
+          | "insert" | "retract" ->
+              let* view = str_field "view" in
+              let* facts = str_field "facts" in
+              let* tenant = opt_field "tenant" Json.to_str j in
+              let* max_iterations = opt_field "max_iterations" Json.to_int j in
+              let* max_derivations = opt_field "max_derivations" Json.to_int j in
+              Ok
+                (Update
+                   {
+                     id;
+                     tenant = Option.value tenant ~default:"anon";
+                     view;
+                     retract = op = "retract";
+                     facts;
+                     max_iterations;
+                     max_derivations;
+                   })
+          | "query" ->
+              let* view = str_field "view" in
+              let* tenant = opt_field "tenant" Json.to_str j in
+              Ok (Query { id; tenant = Option.value tenant ~default:"anon"; view })
+          | op ->
+              Error
+                (Printf.sprintf
+                   "unknown op %S (use eval, materialize, insert, retract, query, ping or stats)"
+                   op)))
 
 (* ----- request/response building ----- *)
 
 let with_id id fields =
   match id with None -> fields | Some id -> ("id", Json.Str id) :: fields
 
+let opt name conv v fields = match v with None -> fields | Some v -> (name, conv v) :: fields
+
 let eval_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~program () =
-  let opt name conv v fields =
-    match v with None -> fields | Some v -> (name, conv v) :: fields
-  in
   Json.Obj
     (with_id id
        ([ ("op", Json.Str "eval"); ("program", Json.Str program) ]
@@ -95,6 +162,37 @@ let eval_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivation
        |> opt "pipeline" (fun s -> Json.Str s) pipeline
        |> opt "max_iterations" (fun i -> Json.Int i) max_iterations
        |> opt "max_derivations" (fun i -> Json.Int i) max_derivations))
+
+let materialize_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~view
+    ~program () =
+  Json.Obj
+    (with_id id
+       ([
+          ("op", Json.Str "materialize"); ("view", Json.Str view); ("program", Json.Str program);
+        ]
+       |> opt "tenant" (fun s -> Json.Str s) tenant
+       |> opt "edb" (fun s -> Json.Str s) edb
+       |> opt "pipeline" (fun s -> Json.Str s) pipeline
+       |> opt "max_iterations" (fun i -> Json.Int i) max_iterations
+       |> opt "max_derivations" (fun i -> Json.Int i) max_derivations))
+
+let update_request_json ?id ?tenant ?max_iterations ?max_derivations ~retract ~view ~facts () =
+  Json.Obj
+    (with_id id
+       ([
+          ("op", Json.Str (if retract then "retract" else "insert"));
+          ("view", Json.Str view);
+          ("facts", Json.Str facts);
+        ]
+       |> opt "tenant" (fun s -> Json.Str s) tenant
+       |> opt "max_iterations" (fun i -> Json.Int i) max_iterations
+       |> opt "max_derivations" (fun i -> Json.Int i) max_derivations))
+
+let query_request_json ?id ?tenant ~view () =
+  Json.Obj
+    (with_id id
+       ([ ("op", Json.Str "query"); ("view", Json.Str view) ]
+       |> opt "tenant" (fun s -> Json.Str s) tenant))
 
 let ping_request_json ?id () = Json.Obj (with_id id [ ("op", Json.Str "ping") ])
 let stats_request_json ?id () = Json.Obj (with_id id [ ("op", Json.Str "stats") ])

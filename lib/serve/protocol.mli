@@ -19,15 +19,30 @@
        (plan-cache keyed by digest of [pipeline] + [program]), evaluate, and
        answer.  Only [program] is required; [pipeline] is one of ["none"],
        ["pred,qrp"] (default) or ["optimal"].}
+    {- [{"op": "materialize", "view": NAME, "program": SRC, "edb": SRC,
+       ...}] — evaluate once and keep a live incremental view, keyed by
+       tenant and [NAME] in the view cache alongside the plan cache; the
+       budgets become the view's per-operation maintenance defaults.
+       Re-materializing an existing name replaces the view.}
+    {- [{"op": "insert", "view": NAME, "facts": SRC, ...}] /
+       [{"op": "retract", ...}] — incrementally maintain the named view
+       under the given EDB facts and answer with the updated query answers
+       (a poor man's subscription: every update response carries the new
+       result).  A maintenance round truncated by its budget drops the view
+       (its contents would under-approximate the fixpoint) and answers
+       [budget].}
+    {- [{"op": "query", "view": NAME}] — the view's current answers,
+       without re-evaluating anything.}
     {- [{"op": "ping"}] — liveness probe.}
-    {- [{"op": "stats"}] — server, plan-cache and per-tenant counters.}}
+    {- [{"op": "stats"}] — server, plan-cache, view-cache and per-tenant
+       counters.}}
 
     {1 Responses}
 
     [{"status": "ok", ...}] or [{"status": "error", "error": {"kind": K,
     "message": M}}] with [kind] one of [malformed], [parse_error],
-    [oversized], [admission], [budget], [shutting_down], [internal].  The
-    request [id], when given, is echoed. *)
+    [oversized], [admission], [budget], [unknown_view], [shutting_down],
+    [internal].  The request [id], when given, is echoed. *)
 
 type request =
   | Eval of {
@@ -39,6 +54,26 @@ type request =
       max_iterations : int option;
       max_derivations : int option;
     }
+  | Materialize of {
+      id : string option;
+      tenant : string;
+      view : string;  (** cache key, scoped to the tenant *)
+      program : string;
+      edb : string;
+      pipeline : string;
+      max_iterations : int option;
+      max_derivations : int option;
+    }
+  | Update of {
+      id : string option;
+      tenant : string;
+      view : string;
+      retract : bool;  (** [false] = op was ["insert"] *)
+      facts : string;  (** facts source, parsed like an [edb] field *)
+      max_iterations : int option;
+      max_derivations : int option;
+    }
+  | Query of { id : string option; tenant : string; view : string }
   | Ping of { id : string option }
   | Stats of { id : string option }
 
@@ -48,6 +83,7 @@ type error_kind =
   | Oversized  (** frame or program over the configured byte limits *)
   | Admission  (** rejected by admission control *)
   | Budget  (** evaluation stopped by an iteration/derivation budget *)
+  | Unknown_view  (** no such view for this tenant (never made, or evicted) *)
   | Shutting_down
   | Internal
 
@@ -68,6 +104,30 @@ val eval_request_json :
   unit ->
   Json.t
 
+val materialize_request_json :
+  ?id:string ->
+  ?tenant:string ->
+  ?edb:string ->
+  ?pipeline:string ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  view:string ->
+  program:string ->
+  unit ->
+  Json.t
+
+val update_request_json :
+  ?id:string ->
+  ?tenant:string ->
+  ?max_iterations:int ->
+  ?max_derivations:int ->
+  retract:bool ->
+  view:string ->
+  facts:string ->
+  unit ->
+  Json.t
+
+val query_request_json : ?id:string -> ?tenant:string -> view:string -> unit -> Json.t
 val ping_request_json : ?id:string -> unit -> Json.t
 val stats_request_json : ?id:string -> unit -> Json.t
 

@@ -10,6 +10,7 @@ type config = {
   workers : int;
   limits : Admission.limits;
   plan_cache_entries : int;
+  view_cache_entries : int;
   max_frame_bytes : int;
 }
 
@@ -19,6 +20,7 @@ let default_config ~socket_path =
     workers = 4;
     limits = Admission.default_limits;
     plan_cache_entries = 256;
+    view_cache_entries = 64;
     max_frame_bytes = Protocol.max_frame_default;
   }
 
@@ -27,6 +29,7 @@ type t = {
   listen_fd : Unix.file_descr;
   pool : Pool.t;
   cache : Plan_cache.t;
+  views : View_cache.t;
   adm : Admission.t;
   stop_flag : bool Atomic.t;
   served : int Atomic.t;  (* connections accepted *)
@@ -60,6 +63,27 @@ let compile ~pipeline (p : Program.t) =
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
+(* plan-cache lookup shared by eval and materialize *)
+let compiled_plan t ~pipeline ~source p =
+  let key = Plan_cache.key ~pipeline ~source in
+  match Plan_cache.find t.cache key with
+  | Some plan -> (true, Ok plan)
+  | None -> (
+      let t0 = Obs.monotonic_ns () in
+      match compile ~pipeline p with
+      | Error e -> (false, Error e)
+      | Ok prog ->
+          let plan =
+            {
+              Plan_cache.pipeline;
+              program = prog;
+              source_bytes = String.length source;
+              rewrite_ns = Int64.sub (Obs.monotonic_ns ()) t0;
+            }
+          in
+          Plan_cache.add t.cache key plan;
+          (false, Ok plan))
+
 (* ----- eval ----- *)
 
 let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_derivations () =
@@ -87,26 +111,7 @@ let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_deriv
               (* without a query predicate there is nothing to push; the
                  effective pipeline is recorded in the response *)
               let pipeline = if p.Program.query = None then "none" else pipeline in
-              let key = Plan_cache.key ~pipeline ~source:program in
-              let cached, plan =
-                match Plan_cache.find t.cache key with
-                | Some plan -> (true, Ok plan)
-                | None -> (
-                    let t0 = Obs.monotonic_ns () in
-                    match compile ~pipeline p with
-                    | Error e -> (false, Error e)
-                    | Ok prog ->
-                        let plan =
-                          {
-                            Plan_cache.pipeline;
-                            program = prog;
-                            source_bytes = String.length program;
-                            rewrite_ns = Int64.sub (Obs.monotonic_ns ()) t0;
-                          }
-                        in
-                        Plan_cache.add t.cache key plan;
-                        (false, Ok plan))
-              in
+              let cached, plan = compiled_plan t ~pipeline ~source:program p in
               match plan with
               | Error (kind, msg) -> err kind msg
               | Ok plan -> (
@@ -159,6 +164,190 @@ let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_deriv
                           ]
                       end))))
 
+(* ----- materialized views ----- *)
+
+let maintain_json (ms : Engine.maintain_stats) =
+  Json.Obj
+    [
+      ("batch", Json.Int ms.Engine.m_batch);
+      ("inserted", Json.Int ms.Engine.m_inserted);
+      ("retracted", Json.Int ms.Engine.m_retracted);
+      ("noops", Json.Int ms.Engine.m_noops);
+      ("derivations", Json.Int ms.Engine.m_derivations);
+      ("over_deleted", Json.Int ms.Engine.m_over_deleted);
+      ("rederived", Json.Int ms.Engine.m_rederived);
+      ("resurrected", Json.Int ms.Engine.m_resurrected);
+      ("deleted", Json.Int ms.Engine.m_deleted);
+      ("iterations", Json.Int ms.Engine.m_iterations);
+      ("fixpoint", Json.Bool ms.Engine.m_complete);
+    ]
+
+let answers_json answers = Json.List (List.map (fun f -> Json.Str (Fact.to_string f)) answers)
+
+let handle_materialize t ?id ~tenant ~view:name ~program ~edb ~pipeline ~max_iterations
+    ~max_derivations () =
+  Obs.add_field_str "tenant" tenant;
+  Obs.add_field_str "view" name;
+  let err kind msg =
+    Obs.incr t.errors;
+    Obs.add_field_str "status" (Protocol.error_kind_to_string kind);
+    Protocol.error_response ?id kind msg
+  in
+  match
+    Admission.admit t.adm ~tenant
+      ~program_bytes:(String.length program + String.length edb)
+      ~max_iterations ~max_derivations
+  with
+  | Admission.Reject_oversized msg -> err Protocol.Oversized msg
+  | Admission.Reject_busy msg | Admission.Reject_budget msg -> err Protocol.Admission msg
+  | Admission.Admit { max_iterations; max_derivations } -> (
+      Fun.protect ~finally:(fun () -> Admission.release t.adm ~tenant) @@ fun () ->
+      match Parser.program_of_string program with
+      | exception Parser.Error msg -> err Protocol.Parse_error msg
+      | p -> (
+          match List.map Fact.of_fact_rule (Parser.facts_of_string edb) with
+          | exception Parser.Error msg -> err Protocol.Parse_error ("edb: " ^ msg)
+          | edb -> (
+              let pipeline = if p.Program.query = None then "none" else pipeline in
+              let cached, plan = compiled_plan t ~pipeline ~source:program p in
+              match plan with
+              | Error (kind, msg) -> err kind msg
+              | Ok plan -> (
+                  Obs.add_field_str "cache" (if cached then "hit" else "miss");
+                  let t0 = Obs.monotonic_ns () in
+                  match
+                    Engine.materialize ~jobs:1 ~max_iterations ~max_derivations
+                      plan.Plan_cache.program ~edb
+                  with
+                  | exception e -> err Protocol.Internal (Printexc.to_string e)
+                  | vw, ms ->
+                      let eval_ns = Int64.sub (Obs.monotonic_ns ()) t0 in
+                      if not ms.Engine.m_complete then begin
+                        Engine.close_view vw;
+                        err Protocol.Budget
+                          (Printf.sprintf
+                             "materialization truncated by its budget after %d iterations / %d \
+                              derivations; the view was not cached"
+                             ms.Engine.m_iterations ms.Engine.m_derivations)
+                      end
+                      else begin
+                        let answers = Engine.view_answers vw in
+                        let total = Engine.view_total vw in
+                        View_cache.add t.views ~tenant ~view:name vw;
+                        Obs.add_field_str "status" "ok";
+                        Obs.add_field "answers" (List.length answers);
+                        Protocol.ok_response ?id
+                          [
+                            ("tenant", Json.Str tenant);
+                            ("view", Json.Str name);
+                            ("cache", Json.Str (if cached then "hit" else "miss"));
+                            ("pipeline", Json.Str plan.Plan_cache.pipeline);
+                            ( "query",
+                              match plan.Plan_cache.program.Program.query with
+                              | Some q -> Json.Str q
+                              | None -> Json.Null );
+                            ("answers", answers_json answers);
+                            ("facts", Json.Int total);
+                            ("maintain", maintain_json ms);
+                            ( "rewrite_ms",
+                              Json.Float
+                                (if cached then 0.0 else ms_of_ns plan.Plan_cache.rewrite_ns) );
+                            ("eval_ms", Json.Float (ms_of_ns eval_ns));
+                          ]
+                      end))))
+
+let handle_update t ?id ~tenant ~view:name ~retract ~facts ~max_iterations ~max_derivations () =
+  Obs.add_field_str "tenant" tenant;
+  Obs.add_field_str "view" name;
+  let err kind msg =
+    Obs.incr t.errors;
+    Obs.add_field_str "status" (Protocol.error_kind_to_string kind);
+    Protocol.error_response ?id kind msg
+  in
+  (* maintenance goes through the same admission gate as evaluation: the
+     tenant pays an in-flight slot and the effective budgets bound the
+     delta/re-derivation rounds exactly as they bound a fresh fixpoint *)
+  match
+    Admission.admit t.adm ~tenant ~program_bytes:(String.length facts) ~max_iterations
+      ~max_derivations
+  with
+  | Admission.Reject_oversized msg -> err Protocol.Oversized msg
+  | Admission.Reject_busy msg | Admission.Reject_budget msg -> err Protocol.Admission msg
+  | Admission.Admit { max_iterations; max_derivations } -> (
+      Fun.protect ~finally:(fun () -> Admission.release t.adm ~tenant) @@ fun () ->
+      match List.map Fact.of_fact_rule (Parser.facts_of_string facts) with
+      | exception Parser.Error msg -> err Protocol.Parse_error ("facts: " ^ msg)
+      | fs -> (
+          let t0 = Obs.monotonic_ns () in
+          let result =
+            View_cache.with_view t.views ~tenant ~view:name (fun vw ->
+                let op = if retract then Engine.retract else Engine.insert in
+                match op ~max_iterations ~max_derivations vw fs with
+                | exception Invalid_argument msg -> Error (Protocol.Internal, msg)
+                | ms ->
+                    if not ms.Engine.m_complete then
+                      Error
+                        ( Protocol.Budget,
+                          Printf.sprintf
+                            "maintenance truncated by its budget after %d iterations / %d \
+                             derivations"
+                            ms.Engine.m_iterations ms.Engine.m_derivations )
+                    else Ok (ms, Engine.view_answers vw, Engine.view_total vw))
+          in
+          match result with
+          | None ->
+              err Protocol.Unknown_view
+                (Printf.sprintf
+                   "tenant %S has no view %S (materialize it first; it may have been evicted)"
+                   tenant name)
+          | Some (Error (Protocol.Budget, msg)) ->
+              (* a truncated view under-approximates its fixpoint; drop it
+                 rather than serve silently stale answers *)
+              ignore (View_cache.remove t.views ~tenant ~view:name);
+              err Protocol.Budget (msg ^ "; the view has been dropped")
+          | Some (Error (kind, msg)) -> err kind msg
+          | Some (Ok (ms, answers, total)) ->
+              Obs.add_field_str "status" "ok";
+              Obs.add_field "answers" (List.length answers);
+              Protocol.ok_response ?id
+                [
+                  ("tenant", Json.Str tenant);
+                  ("view", Json.Str name);
+                  ("op", Json.Str (if retract then "retract" else "insert"));
+                  ("answers", answers_json answers);
+                  ("facts", Json.Int total);
+                  ("maintain", maintain_json ms);
+                  ("eval_ms", Json.Float (ms_of_ns (Int64.sub (Obs.monotonic_ns ()) t0)));
+                ]))
+
+let handle_query t ?id ~tenant ~view:name () =
+  Obs.add_field_str "tenant" tenant;
+  Obs.add_field_str "view" name;
+  match
+    View_cache.with_view t.views ~tenant ~view:name (fun vw ->
+        ( Engine.view_answers vw,
+          Engine.view_total vw,
+          List.length (Engine.view_edb vw),
+          Engine.view_complete vw ))
+  with
+  | None ->
+      Obs.incr t.errors;
+      Obs.add_field_str "status" "unknown_view";
+      Protocol.error_response ?id Protocol.Unknown_view
+        (Printf.sprintf "tenant %S has no view %S" tenant name)
+  | Some (answers, total, edb_facts, complete) ->
+      Obs.add_field_str "status" "ok";
+      Obs.add_field "answers" (List.length answers);
+      Protocol.ok_response ?id
+        [
+          ("tenant", Json.Str tenant);
+          ("view", Json.Str name);
+          ("answers", answers_json answers);
+          ("facts", Json.Int total);
+          ("edb_facts", Json.Int edb_facts);
+          ("fixpoint", Json.Bool complete);
+        ]
+
 (* ----- stats ----- *)
 
 let stats_response t ?id () =
@@ -183,6 +372,15 @@ let stats_response t ?id () =
             ("misses", Json.Int c.Plan_cache.misses);
             ("evictions", Json.Int c.Plan_cache.evictions);
           ] );
+      ( "view_cache",
+        (let v = View_cache.stats t.views in
+         Json.Obj
+           [
+             ("entries", Json.Int v.View_cache.entries);
+             ("hits", Json.Int v.View_cache.hits);
+             ("misses", Json.Int v.View_cache.misses);
+             ("evictions", Json.Int v.View_cache.evictions);
+           ]) );
       ( "tenants",
         Json.List
           (List.map
@@ -227,7 +425,30 @@ let respond t payload =
           else
             handle_eval t ?id:e.id ~tenant:e.tenant ~program:e.program ~edb:e.edb
               ~pipeline:e.pipeline ~max_iterations:e.max_iterations
-              ~max_derivations:e.max_derivations ())
+              ~max_derivations:e.max_derivations ()
+      | Ok (Protocol.Materialize m) ->
+          if stopping t then begin
+            Obs.incr t.errors;
+            Protocol.error_response ?id:m.id Protocol.Shutting_down
+              "server is shutting down; no new evaluations"
+          end
+          else
+            handle_materialize t ?id:m.id ~tenant:m.tenant ~view:m.view ~program:m.program
+              ~edb:m.edb ~pipeline:m.pipeline ~max_iterations:m.max_iterations
+              ~max_derivations:m.max_derivations ()
+      | Ok (Protocol.Update u) ->
+          if stopping t then begin
+            Obs.incr t.errors;
+            Protocol.error_response ?id:u.id Protocol.Shutting_down
+              "server is shutting down; no new evaluations"
+          end
+          else
+            handle_update t ?id:u.id ~tenant:u.tenant ~view:u.view ~retract:u.retract
+              ~facts:u.facts ~max_iterations:u.max_iterations
+              ~max_derivations:u.max_derivations ()
+      | Ok (Protocol.Query q) ->
+          (* read-only and cheap: allowed even while draining *)
+          handle_query t ?id:q.id ~tenant:q.tenant ~view:q.view ())
 
 (* ----- connection plumbing ----- *)
 
@@ -334,6 +555,7 @@ let start config =
          submits, so it is not counted as a pool worker *)
       pool = Pool.create ~jobs:(max 1 config.workers + 1);
       cache = Plan_cache.create ~max_entries:config.plan_cache_entries;
+      views = View_cache.create ~max_entries:config.view_cache_entries;
       adm = Admission.create config.limits;
       stop_flag = Atomic.make false;
       served = Atomic.make 0;

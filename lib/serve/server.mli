@@ -18,11 +18,18 @@
        interned in a {!Plan_cache} keyed by source digest: a warm repeat
        query skips the rewrite pipeline entirely, observable through the
        [serve.plan_cache.hits] counter and the response's ["cache"] field.}
+    {- [materialize] keeps the evaluated program alive as an incremental
+       view ({!Cql_eval.Engine.materialize}) in a {!View_cache} keyed by
+       tenant and view name, alongside the plan cache; [insert]/[retract]
+       then maintain its fixpoint in place and answer with the updated
+       query answers, and [query] reads it without evaluating anything.}
     {- {!Admission} rejects oversized programs, over-parallel tenants and
        over-budget requests before any work happens; admitted requests run
        under the engine's derivation/iteration budgets and a run that is
        truncated by its budget returns a [budget] error rather than a
-       silently partial answer.}
+       silently partial answer.  Maintenance requests pass the same gate,
+       and a truncated maintenance round additionally {e drops} the view —
+       its contents would under-approximate the fixpoint.}
     {- Every request runs inside an [Obs] span ([serve.request] with
        tenant/op/cache/status fields), so [--trace-json] gives per-request
        NDJSON traces with solver-counter deltas attached.}}
@@ -37,12 +44,13 @@ type config = {
   workers : int;  (** concurrent connection handlers (clamped to >= 1) *)
   limits : Admission.limits;
   plan_cache_entries : int;
+  view_cache_entries : int;  (** live materialized views kept (LRU) *)
   max_frame_bytes : int;
 }
 
 val default_config : socket_path:string -> config
-(** 4 workers, {!Admission.default_limits}, 256 cached plans, 4 MiB
-    frames. *)
+(** 4 workers, {!Admission.default_limits}, 256 cached plans, 64 live
+    views, 4 MiB frames. *)
 
 type t
 

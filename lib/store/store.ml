@@ -54,14 +54,48 @@ let known_subsumes s f =
       hit
 
 (* add a fact known not to be subsumed: back-subsumption first, then into
-   the pending partition (it becomes delta at the next advance) *)
-let add s f =
+   the pending partition (it becomes delta at the next advance); the facts
+   the newcomer killed are reported for maintenance bookkeeping *)
+let add_reporting s f =
   let t = table s (Fact.pred f) in
-  let compared = Table.back_subsume t f in
+  let compared, killed = Table.back_subsume t f in
   s.stats.subsumption_compared <- s.stats.subsumption_compared + compared;
-  Table.insert t f
+  Table.insert t f;
+  killed
+
+let add s f = ignore (add_reporting s f)
+
+let find_equal s f =
+  match find_table s (Fact.pred f) with None -> None | Some t -> Table.find_equal t f
+
+let mem_equal s f =
+  match find_table s (Fact.pred f) with None -> false | Some t -> Table.mem_equal t f
+
+let delete s f =
+  match find_table s (Fact.pred f) with None -> false | Some t -> Table.delete t f
+
+let set_count s f n = Table.set_count (table s (Fact.pred f)) f n
+let bump_count ?by s f = Table.bump_count ?by (table s (Fact.pred f)) f
+
+let count s f =
+  match find_table s (Fact.pred f) with None -> 0 | Some t -> Table.count t f
+
+let drop_count s f =
+  match find_table s (Fact.pred f) with None -> () | Some t -> Table.drop_count t f
+
+let counted_facts s =
+  Hashtbl.fold (fun pred t acc -> (pred, Table.counted_facts t) :: acc) s.tables []
 
 let advance s = Hashtbl.iter (fun _ t -> Table.advance t) s.tables
+
+(* Delta seeding: make [facts] the delta partition in one step — the
+   current delta retires into old and each seed lands in pending before a
+   second boundary promotes it.  This is exactly the store state a
+   semi-naive maintenance round wants before its first match phase. *)
+let seed_delta s facts =
+  advance s;
+  List.iter (add s) facts;
+  advance s
 let freeze s = Hashtbl.iter (fun _ t -> Table.freeze t) s.tables
 let thaw s = Hashtbl.iter (fun _ t -> Table.thaw t) s.tables
 

@@ -45,8 +45,36 @@ val add : t -> Fact.t -> unit
 (** Insert a non-subsumed fact: drops stored facts it subsumes, then appends
     it to the pending partition. *)
 
+val add_reporting : t -> Fact.t -> Fact.t list
+(** Like {!add}, but returns the stored facts the newcomer back-subsumed
+    (killed), so a maintenance layer can remember them as covered. *)
+
+val find_equal : t -> Fact.t -> Fact.t option
+(** The live stored fact structurally equal to the argument, if any. *)
+
+val mem_equal : t -> Fact.t -> bool
+
+val delete : t -> Fact.t -> bool
+(** Retire the live fact structurally equal to the argument (and its
+    derivation count).  Returns whether it existed. *)
+
+val set_count : t -> Fact.t -> int -> unit
+(** Set a fact's derivation count; [n <= 0] removes the entry. *)
+
+val bump_count : ?by:int -> t -> Fact.t -> unit
+val count : t -> Fact.t -> int
+val drop_count : t -> Fact.t -> unit
+
+val counted_facts : t -> (string * (Fact.t * int) list) list
+(** Per predicate, all tracked derivation counts in {!Fact.compare} order. *)
+
 val advance : t -> unit
 (** Iteration boundary on every table: old ∪= delta, delta ← pending. *)
+
+val seed_delta : t -> Fact.t list -> unit
+(** Make [facts] the delta partition: the current delta retires into old,
+    then the seeds are added and promoted in one extra boundary.  Sets up
+    the store for a semi-naive maintenance round driven by the new facts. *)
 
 val freeze : t -> unit
 (** Enter read-only mode on every table (see {!Table.freeze}). *)

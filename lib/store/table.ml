@@ -39,6 +39,7 @@ module GroundKey = struct
 end
 
 module GroundTbl = Hashtbl.Make (GroundKey)
+module FactMap = Map.Make (Fact)
 
 type t = {
   (* partitions, newest-first; dead cells are filtered on read *)
@@ -59,6 +60,7 @@ type t = {
   (* subsumption indexes over every live cell *)
   ground : cell GroundTbl.t; (* fully-pinned facts by (pattern, values) *)
   patterns : (pattern, sbucket) Hashtbl.t;
+  mutable counts : int FactMap.t; (* per-fact derivation counts (maintenance) *)
 }
 
 let create () =
@@ -74,6 +76,7 @@ let create () =
     frozen = false;
     ground = GroundTbl.create 64;
     patterns = Hashtbl.create 16;
+    counts = FactMap.empty;
   }
 
 let pattern_of (f : Fact.t) : pattern =
@@ -101,6 +104,25 @@ let kill t c =
     c.live <- false;
     t.live_counts.(c.part) <- t.live_counts.(c.part) - 1
   end
+
+(* ----- derivation counts -----
+
+   Incremental maintenance keeps, per live fact, the number of supports it
+   has (EDB multiplicity plus rule firings producing exactly it).  The map
+   is keyed by structural fact identity (Fact.compare), so two facts count
+   together exactly when retraction treats them as the same fact. *)
+
+let set_count t f n =
+  if n <= 0 then t.counts <- FactMap.remove f t.counts
+  else t.counts <- FactMap.add f n t.counts
+
+let bump_count ?(by = 1) t f =
+  t.counts <-
+    FactMap.update f (fun c -> Some (by + Option.value c ~default:0)) t.counts
+
+let count t f = Option.value (FactMap.find_opt f t.counts) ~default:0
+let drop_count t f = t.counts <- FactMap.remove f t.counts
+let counted_facts t = FactMap.bindings t.counts
 
 (* ----- insertion & subsumption ----- *)
 
@@ -156,25 +178,73 @@ let known_subsumes t f =
 (* Drop live facts the new fact subsumes (back-subsumption).  A fully
    pinned [f] denotes a single point: the only ground fact it could
    subsume is its duplicate, which [known_subsumes] already rejected, so
-   only general cells need scanning. *)
+   only general cells need scanning.  Killed facts are reported so a
+   maintenance layer can remember them as covered (and lose their counts:
+   only live facts are counted). *)
 let back_subsume t f =
   check_mutable t "Table.back_subsume";
   match Hashtbl.find_opt t.patterns (pattern_of f) with
-  | None -> 0
+  | None -> (0, [])
   | Some b ->
       let cmp = ref 0 in
+      let killed = ref [] in
       let kill_in l =
         List.iter
           (fun c ->
             if c.live then begin
               incr cmp;
-              if Fact.subsumes f c.fact then kill t c
+              if Fact.subsumes f c.fact then begin
+                kill t c;
+                drop_count t c.fact;
+                killed := c.fact :: !killed
+              end
             end)
           l
       in
       kill_in b.general;
       if not (Fact.is_ground f) then kill_in b.ground_cells;
-      !cmp
+      (!cmp, !killed)
+
+(* ----- structural lookup & deletion ----- *)
+
+let find_cell_equal t f =
+  match Hashtbl.find_opt t.patterns (pattern_of f) with
+  | None -> None
+  | Some b ->
+      let scan l = List.find_opt (fun c -> c.live && Fact.compare c.fact f = 0) l in
+      if Fact.is_ground f then
+        match GroundTbl.find_opt t.ground (ground_key f) with
+        | Some c when c.live && Fact.compare c.fact f = 0 -> Some c
+        | _ -> scan b.ground_cells
+      else scan b.general
+
+let find_equal t f = Option.map (fun c -> c.fact) (find_cell_equal t f)
+let mem_equal t f = Option.is_some (find_cell_equal t f)
+
+(* Physically retire the live cell structurally equal to [f] (dead cells
+   are filtered by every read path, so killing suffices; the ground hash
+   entry is refreshed in case another live duplicate remains). *)
+let delete t f =
+  check_mutable t "Table.delete";
+  match find_cell_equal t f with
+  | None -> false
+  | Some c ->
+      kill t c;
+      drop_count t c.fact;
+      if Fact.is_ground f then begin
+        let key = ground_key f in
+        (match GroundTbl.find_opt t.ground key with
+        | Some c' when not c'.live -> GroundTbl.remove t.ground key
+        | _ -> ());
+        match
+          List.find_opt
+            (fun c2 -> c2.live && Fact.compare c2.fact f = 0)
+            (sbucket_of t (pattern_of f)).ground_cells
+        with
+        | Some c2 -> GroundTbl.replace t.ground key c2
+        | None -> ()
+      end;
+      true
 
 (* ----- partitions ----- *)
 

@@ -35,9 +35,33 @@ val known_subsumes : t -> Fact.t -> bool * int
 (** [(subsumed, comparisons)]: is the fact subsumed by a live stored fact,
     and how many {!Fact.subsumes} calls the check performed. *)
 
-val back_subsume : t -> Fact.t -> int
+val back_subsume : t -> Fact.t -> int * Fact.t list
 (** Mark live stored facts subsumed by the new fact dead; returns the number
-    of comparisons performed. *)
+    of comparisons performed and the facts that were killed (their counts
+    are dropped — only live facts carry counts). *)
+
+val find_equal : t -> Fact.t -> Fact.t option
+(** The live stored fact structurally equal to the argument
+    ([Fact.compare] = 0), if any. *)
+
+val mem_equal : t -> Fact.t -> bool
+
+val delete : t -> Fact.t -> bool
+(** Retire the live cell structurally equal to the fact (and its count).
+    Returns whether such a cell existed. *)
+
+val set_count : t -> Fact.t -> int -> unit
+(** Set a fact's derivation count; [n <= 0] removes the entry. *)
+
+val bump_count : ?by:int -> t -> Fact.t -> unit
+
+val count : t -> Fact.t -> int
+(** A fact's derivation count (0 when untracked). *)
+
+val drop_count : t -> Fact.t -> unit
+
+val counted_facts : t -> (Fact.t * int) list
+(** All tracked counts in {!Fact.compare} order. *)
 
 val advance : t -> unit
 (** Iteration boundary: old ∪= delta, delta ← pending, pending ← ∅. *)

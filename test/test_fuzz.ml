@@ -130,15 +130,72 @@ let test_exhausted_reseed_retry () =
   (* the harness counts those retries; a fresh stats record starts clean *)
   check_int "fresh stats start at zero retries" 0 (H.new_stats ()).H.gen_retries
 
+(* ----- the update oracle ----- *)
+
+let test_update_oracle_passes () =
+  let s = H.run_update ~seed:42 ~count:20 () in
+  check_int "all cases generated" 20 s.H.stats.H.cases;
+  check_bool "no failure" true (s.H.failure = None);
+  check_bool "update checks happened" true (s.H.stats.H.checks > 0)
+
+let test_update_oracle_determinism () =
+  let snapshot () =
+    let s = H.run_update ~seed:9 ~count:10 () in
+    (s.H.stats.H.cases, s.H.stats.H.evaluated, s.H.stats.H.checks, s.H.failure = None)
+  in
+  check_bool "same seed, same run" true (snapshot () = snapshot ())
+
+let test_gen_updates () =
+  let module F = Cql_eval.Fact in
+  let rng = Rng.create 5 in
+  let _, edb = G.case rng { (G.default G.Decidable) with G.max_edb_facts = 12 } in
+  let edb0, ops = H.gen_updates (Rng.split rng) edb in
+  check_bool "some ops drawn" true (ops <> []);
+  check_bool "initial database drawn from the generated pool" true
+    (List.length edb0 <= List.length edb
+    && List.for_all (fun f -> List.exists (fun g -> F.compare f g = 0) edb) edb0);
+  (* every op's fact comes from the pool too — the sequence only ever moves
+     facts between "present" and "insertable" (plus absent-retract no-ops) *)
+  check_bool "ops range over the pool" true
+    (List.for_all
+       (fun op ->
+         let f = match op with H.Insert f | H.Retract f -> f in
+         List.exists (fun g -> F.compare f g = 0) edb)
+       ops)
+
+let test_update_case_explicit () =
+  let p =
+    Parser.program_of_string "r1: t(X, Y) :- e(X, Y).\nr2: t(X, Y) :- t(X, Z), e(Z, Y).\n#query t."
+  in
+  let f s = Cql_eval.Fact.of_fact_rule (Parser.rule_of_string s) in
+  let edb = [ f "e(1, 2)."; f "e(2, 3)." ] in
+  let ops =
+    [
+      H.Insert (f "e(3, 4).");
+      H.Retract (f "e(1, 2).");
+      H.Retract (f "e(9, 9).");
+      (* absent: a no-op *)
+      H.Insert (f "e(1, 2).");
+      (* retract-then-reinsert *)
+    ]
+  in
+  let st = H.new_stats () in
+  check_bool "incremental view tracks from-scratch after every step" true
+    (H.check_update_case st p edb ops = None);
+  check_bool "steps were checked" true (st.H.checks > 0)
+
 (* ----- counterexample round-trip ----- *)
 
 let test_counterexample_roundtrip () =
   let rng = Rng.create 11 in
   let p, edb = G.case rng (G.default G.Decidable) in
-  let failure = { H.oracle = H.Answers; pipeline = "qrp"; detail = "demo"; program = p; edb } in
+  let failure =
+    { H.oracle = H.Answers; pipeline = "qrp"; detail = "demo"; program = p; edb; updates = [] }
+  in
   let summary = { H.seed = 11; count = 1; stats = H.new_stats (); failure = Some failure } in
   let doc = H.counterexample_to_string summary failure in
-  let p', edb' = H.parse_counterexample doc in
+  let p', edb', updates' = H.parse_counterexample doc in
+  check_int "no updates section round-trips to no ops" 0 (List.length updates');
   (* the parser freshens variable names; compare after prettification *)
   check_bool "program survives the round trip" true
     (Program.to_string (Program.prettify p) = Program.to_string (Program.prettify p'));
@@ -147,6 +204,26 @@ let test_counterexample_roundtrip () =
     (List.for_all2 Cql_eval.Fact.equal
        (List.sort Cql_eval.Fact.compare edb)
        (List.sort Cql_eval.Fact.compare edb'))
+
+let test_update_counterexample_roundtrip () =
+  let rng = Rng.create 13 in
+  let p, edb = G.case rng (G.default G.Decidable) in
+  let f = List.hd edb in
+  let updates = [ H.Insert f; H.Retract f; H.Insert (List.hd (List.rev edb)) ] in
+  let failure =
+    { H.oracle = H.Update; pipeline = "eval"; detail = "demo"; program = p; edb; updates }
+  in
+  let summary = { H.seed = 13; count = 1; stats = H.new_stats (); failure = Some failure } in
+  let doc = H.counterexample_to_string summary failure in
+  let p', edb', updates' = H.parse_counterexample doc in
+  check_bool "program survives" true
+    (Program.to_string (Program.prettify p) = Program.to_string (Program.prettify p'));
+  check_int "edb size survives" (List.length edb) (List.length edb');
+  check_bool "the op sequence survives in order" true
+    (List.length updates = List.length updates'
+    && List.for_all2
+         (fun a b -> H.update_op_to_string a = H.update_op_to_string b)
+         updates updates')
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
@@ -163,5 +240,14 @@ let () =
           Alcotest.test_case "typed generator exhaustion" `Quick test_generate_exhausted;
           Alcotest.test_case "reseeded retry recovers" `Quick test_exhausted_reseed_retry;
           Alcotest.test_case "counterexample round-trip" `Quick test_counterexample_roundtrip;
+        ] );
+      ( "update-oracle",
+        [
+          Alcotest.test_case "random update streams pass" `Quick test_update_oracle_passes;
+          Alcotest.test_case "fixed-seed determinism" `Quick test_update_oracle_determinism;
+          Alcotest.test_case "gen_updates invariants" `Quick test_gen_updates;
+          Alcotest.test_case "explicit update case" `Quick test_update_case_explicit;
+          Alcotest.test_case "update counterexample round-trip" `Quick
+            test_update_counterexample_roundtrip;
         ] );
     ]

@@ -141,7 +141,31 @@ let test_request_of_json () =
   check_bool "ping" true (decode {|{"op": "ping"}|} = Ok (Protocol.Ping { id = None }));
   check_bool "unknown op rejected" true (Result.is_error (decode {|{"op": "nope"}|}));
   check_bool "missing program rejected" true (Result.is_error (decode {|{"op": "eval"}|}));
-  check_bool "non-object rejected" true (Result.is_error (decode "[1]"))
+  check_bool "non-object rejected" true (Result.is_error (decode "[1]"));
+  (match decode {|{"op": "materialize", "view": "v", "program": "p(1).", "tenant": "a"}|} with
+  | Ok (Protocol.Materialize m) ->
+      check_str "view name" "v" m.view;
+      check_str "materialize tenant" "a" m.tenant;
+      check_str "materialize pipeline default" "pred,qrp" m.pipeline
+  | _ -> Alcotest.fail "materialize decoding");
+  check_bool "materialize needs a view" true
+    (Result.is_error (decode {|{"op": "materialize", "program": "p(1)."}|}));
+  (match decode {|{"op": "retract", "view": "v", "facts": "p(1).", "max_iterations": 3}|} with
+  | Ok (Protocol.Update u) ->
+      check_bool "retract flag" true u.retract;
+      check_str "update facts" "p(1)." u.facts;
+      check_bool "update budget" true (u.max_iterations = Some 3)
+  | _ -> Alcotest.fail "retract decoding");
+  (match decode {|{"op": "insert", "view": "v", "facts": "p(2)."}|} with
+  | Ok (Protocol.Update u) -> check_bool "insert flag" true (not u.retract)
+  | _ -> Alcotest.fail "insert decoding");
+  check_bool "insert needs facts" true
+    (Result.is_error (decode {|{"op": "insert", "view": "v"}|}));
+  match decode {|{"op": "query", "view": "v"}|} with
+  | Ok (Protocol.Query q) ->
+      check_str "query view" "v" q.view;
+      check_str "query default tenant" "anon" q.tenant
+  | _ -> Alcotest.fail "query decoding"
 
 (* ----- plan cache ----- *)
 
@@ -476,6 +500,138 @@ let test_server_concurrent_clients () =
             (List.for_all Fun.id (Domain.join d)))
         domains)
 
+(* ----- materialized views over the socket ----- *)
+
+let tc_program = "r1: t(X, Y) :- e(X, Y).\nr2: t(X, Y) :- t(X, Z), e(Z, Y).\n#query t."
+
+let test_server_view_lifecycle () =
+  with_server "views" (fun socket _ ->
+      with_client socket (fun c ->
+          (* a view must be materialized before it can be updated or read *)
+          let r = Result.get_ok (Client.query c ~view:"tc" ()) in
+          check_bool "query before materialize" true
+            (Client.error_kind r = Some "unknown_view");
+          let r =
+            Result.get_ok (Client.insert c ~view:"tc" ~facts:"e(9, 10)." ())
+          in
+          check_bool "insert before materialize" true
+            (Client.error_kind r = Some "unknown_view");
+          (* the oracle: after every update the view's answers must equal a
+             fresh one-shot eval of the same program over the current EDB *)
+          let edb = ref [ "e(0, 1)."; "e(1, 2)."; "e(2, 3)." ] in
+          let scratch () =
+            let r =
+              Result.get_ok
+                (Client.eval c ~pipeline:"none" ~edb:(String.concat " " !edb)
+                   ~program:tc_program ())
+            in
+            check_bool "one-shot eval ok" true (Client.is_ok r);
+            Client.answers r
+          in
+          let r =
+            Result.get_ok
+              (Client.materialize c ~view:"tc" ~pipeline:"none"
+                 ~edb:(String.concat " " !edb) ~program:tc_program ())
+          in
+          check_bool "materialize ok" true (Client.is_ok r);
+          check_bool "materialize answers = one-shot eval" true
+            (Client.answers r = scratch ());
+          (* interleave inserts, retractions, queries and plain evals *)
+          edb := "e(3, 4)." :: !edb;
+          let r = Result.get_ok (Client.insert c ~view:"tc" ~facts:"e(3, 4)." ()) in
+          check_bool "insert ok" true (Client.is_ok r);
+          check_bool "insert answers = one-shot eval" true (Client.answers r = scratch ());
+          check_bool "insert reports maintenance stats" true
+            (match Json.member "maintain" r with
+            | Some (Json.Obj kvs) -> List.mem_assoc "inserted" kvs
+            | _ -> false);
+          edb := List.filter (fun f -> f <> "e(1, 2).") !edb;
+          let r = Result.get_ok (Client.retract c ~view:"tc" ~facts:"e(1, 2)." ()) in
+          check_bool "retract ok" true (Client.is_ok r);
+          check_bool "retract answers = one-shot eval" true (Client.answers r = scratch ());
+          let q = Result.get_ok (Client.query c ~view:"tc" ()) in
+          check_bool "query ok" true (Client.is_ok q);
+          check_bool "query answers = last update's" true
+            (Client.answers q = Client.answers r);
+          check_bool "query reports fixpoint" true
+            (Option.bind (Json.member "fixpoint" q) Json.to_bool = Some true);
+          (* views are tenant-scoped *)
+          let r = Result.get_ok (Client.query c ~tenant:"other" ~view:"tc" ()) in
+          check_bool "another tenant does not see the view" true
+            (Client.error_kind r = Some "unknown_view");
+          (* bad facts are a structured parse error, and the view survives *)
+          let r = Result.get_ok (Client.insert c ~view:"tc" ~facts:"e(1," ()) in
+          check_bool "malformed facts" true (Client.error_kind r = Some "parse_error");
+          check_bool "view survives the parse error" true
+            (Client.is_ok (Result.get_ok (Client.query c ~view:"tc" ())));
+          (* the view cache shows up in stats *)
+          let s = Result.get_ok (Client.stats c) in
+          match Json.member "view_cache" s with
+          | Some vc ->
+              check_bool "view cached" true
+                (match Option.bind (Json.member "entries" vc) Json.to_int with
+                | Some n -> n >= 1
+                | None -> false)
+          | None -> Alcotest.fail "stats lacks view_cache"))
+
+let test_server_maintenance_budget () =
+  with_server "viewbudget" (fun socket _ ->
+      with_client socket (fun c ->
+          let chain n =
+            String.concat " " (List.init n (fun i -> Printf.sprintf "e(%d, %d)." i (i + 1)))
+          in
+          let r =
+            Result.get_ok
+              (Client.materialize c ~view:"tc" ~pipeline:"none" ~edb:(chain 3)
+                 ~program:tc_program ())
+          in
+          check_bool "materialize ok" true (Client.is_ok r);
+          (* maintenance requests pass the same admission gate as evals:
+             asking for more than the server cap is rejected up front *)
+          let r =
+            Result.get_ok
+              (Client.insert c ~max_derivations:1_000_000 ~view:"tc" ~facts:"e(3, 4)." ())
+          in
+          check_bool "over-cap maintenance budget rejected" true
+            (Client.error_kind r = Some "admission");
+          check_bool "rejected op did not touch the view" true
+            (Client.is_ok (Result.get_ok (Client.query c ~view:"tc" ())));
+          (* a maintenance round truncated by its budget drops the view
+             instead of serving an under-approximated fixpoint *)
+          let r =
+            Result.get_ok
+              (Client.insert c ~max_iterations:1 ~view:"tc" ~facts:(chain 10) ())
+          in
+          check_bool "truncated maintenance is a budget error" true
+            (Client.error_kind r = Some "budget");
+          check_bool "budget message mentions the drop" true
+            (match Client.error_message r with
+            | Some m ->
+                let has sub =
+                  let n = String.length sub in
+                  let rec go i =
+                    i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+                  in
+                  go 0
+                in
+                has "dropped"
+            | None -> false);
+          let r = Result.get_ok (Client.query c ~view:"tc" ()) in
+          check_bool "truncated view was dropped" true
+            (Client.error_kind r = Some "unknown_view");
+          (* budgets on materialize itself: a truncated materialization is
+             a budget error and nothing is cached *)
+          let r =
+            Result.get_ok
+              (Client.materialize c ~view:"big" ~pipeline:"none" ~max_iterations:2
+                 ~edb:(chain 10) ~program:tc_program ())
+          in
+          check_bool "truncated materialize is a budget error" true
+            (Client.error_kind r = Some "budget");
+          let r = Result.get_ok (Client.query c ~view:"big" ()) in
+          check_bool "truncated materialize cached nothing" true
+            (Client.error_kind r = Some "unknown_view")))
+
 let () =
   Alcotest.run "cql_serve"
     [
@@ -506,5 +662,12 @@ let () =
           Alcotest.test_case "oversized frame" `Quick test_server_oversized_frame;
           Alcotest.test_case "shutdown drains in-flight" `Quick test_server_shutdown_drains;
           Alcotest.test_case "concurrent clients" `Quick test_server_concurrent_clients;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "materialize/insert/retract/query" `Quick
+            test_server_view_lifecycle;
+          Alcotest.test_case "admission + budget on maintenance" `Quick
+            test_server_maintenance_budget;
         ] );
     ]
