@@ -64,6 +64,18 @@ let apply_jobs n =
   else if Sys.getenv_opt "CQLOPT_JOBS" = None then
     Cql_eval.Engine.set_default_jobs (Cql_par.Pool.recommended_jobs ())
 
+let no_interval_arg =
+  Arg.(value & flag & info [ "no-interval" ]
+         ~doc:"Disable the interval fast tier in front of the exact decision \
+               procedures, forcing every satisfiability/implication check \
+               through simplex/Fourier-Motzkin (equivalent to setting \
+               \\$CQLOPT_NO_INTERVAL)")
+
+(* CQLOPT_NO_INTERVAL already disabled the tier at load time; the flag only
+   ever turns it off, never back on *)
+let apply_interval no_interval =
+  if no_interval then Cql_constr.Interval.enabled := false
+
 let print_solver_stats flag =
   if flag then
     Format.eprintf "%a@?" Cql_constr.Solver_stats.pp (Cql_constr.Solver_stats.snapshot ())
@@ -155,8 +167,9 @@ let parse_steps adornment constraint_magic s =
 
 let rewrite_cmd =
   let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
-      solver_stats jobs trace_json metrics =
+      solver_stats jobs no_interval trace_json metrics =
     apply_jobs jobs;
+    apply_interval no_interval;
     apply_tracing trace_json metrics;
     let code =
     match read_program path with
@@ -225,7 +238,7 @@ let rewrite_cmd =
   let term =
     Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
           $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg $ jobs_arg
-          $ trace_json_arg $ metrics_arg)
+          $ no_interval_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a program by pushing constraint selections") term
 
@@ -233,8 +246,9 @@ let rewrite_cmd =
 
 let eval_cmd =
   let run path edb_path max_iterations max_derivations traced naive explain stratified
-      solver_stats jobs trace_json metrics =
+      solver_stats jobs no_interval trace_json metrics =
     apply_jobs jobs;
+    apply_interval no_interval;
     apply_tracing trace_json metrics;
     let code =
     match read_program path with
@@ -310,7 +324,8 @@ let eval_cmd =
   in
   let term =
     Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
-          $ explain $ stratified $ solver_stats_arg $ jobs_arg $ trace_json_arg $ metrics_arg)
+          $ explain $ stratified $ solver_stats_arg $ jobs_arg $ no_interval_arg
+          $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
@@ -319,8 +334,10 @@ let eval_cmd =
 let fuzz_cmd =
   let module H = Cql_gen.Harness in
   let module G = Cql_gen.Generate in
-  let run seed count mode inject_bug replay out solver_stats jobs trace_json metrics =
+  let run seed count mode inject_bug replay out solver_stats jobs no_interval trace_json
+      metrics =
     apply_jobs jobs;
+    apply_interval no_interval;
     apply_tracing trace_json metrics;
     let code =
     match replay with
@@ -416,7 +433,7 @@ let fuzz_cmd =
   in
   let term =
     Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg
-          $ jobs_arg $ trace_json_arg $ metrics_arg)
+          $ jobs_arg $ no_interval_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"

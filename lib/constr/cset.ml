@@ -14,6 +14,12 @@ let is_tt cs = List.exists Conj.is_tt cs
 let num_disjuncts = List.length
 let vars cs = List.fold_left (fun acc d -> Var.Set.union acc (Conj.vars d)) Var.Set.empty cs
 
+(* interval box-disjointness between two disjuncts; [false] = maybe
+   compatible (tier off, or the boxes overlap) *)
+let interval_disjoint d d' =
+  !Interval.enabled
+  && Interval.disjoint ~id1:(Conj.id d) (Conj.to_list d) ~id2:(Conj.id d') (Conj.to_list d')
+
 (* prune disjuncts subsumed by another disjunct; with zero or one disjunct
    there is nothing to subsume, so skip the quadratic pass entirely *)
 let prune cs =
@@ -23,7 +29,17 @@ let prune cs =
       let rec go acc = function
         | [] -> List.rev acc
         | d :: rest ->
-            let subsumed_by d' = (not (Conj.equal d d')) && Conj.implies d d' in
+            let subsumed_by d' =
+              (not (Conj.equal d d'))
+              &&
+              (* prune's inputs are satisfiable disjuncts, so a disjoint
+                 pair can never subsume: skip the implication outright *)
+              if interval_disjoint d d' then begin
+                Solver_stats.count_interval_disjoint_hit ();
+                false
+              end
+              else Conj.implies d d'
+            in
             if List.exists subsumed_by rest || List.exists subsumed_by acc then go acc rest
             else go (d :: acc) rest
       in
@@ -57,18 +73,26 @@ let conj_implies d (cs : t) =
         Memo.cached conj_implies_memo
           (Conj.id d, List.map Conj.id cs)
           (fun () ->
-            let residue =
-              List.fold_left
-                (fun residue e ->
-                  if residue = [] then []
-                  else
-                    let neg = negate_conj e in
-                    List.concat_map
-                      (fun r -> List.filter Conj.is_sat (List.map (Conj.and_ r) neg))
-                      residue)
-                [ d ] cs
-            in
-            residue = [])
+            if List.for_all (interval_disjoint d) cs then begin
+              (* d is satisfiable yet box-disjoint from every disjunct, so
+                 some point of d escapes cs: no need to build the DNF residue
+                 (the false still lands in the memo for warm repeats) *)
+              Solver_stats.count_interval_disjoint_hit ();
+              false
+            end
+            else
+              let residue =
+                List.fold_left
+                  (fun residue e ->
+                    if residue = [] then []
+                    else
+                      let neg = negate_conj e in
+                      List.concat_map
+                        (fun r -> List.filter Conj.is_sat (List.map (Conj.and_ r) neg))
+                        residue)
+                  [ d ] cs
+              in
+              residue = [])
 
 (* interned disjuncts in canonical order: id-equal lists denote the same
    set, so physical element-wise equality is a sound fast path *)

@@ -1,0 +1,229 @@
+open Cql_num
+
+(* A sound box abstraction of a conjunction's solution set.  Verdicts are
+   only ever True/False when the box proves the exact answer, so the tier
+   is result-transparent: callers get the simplex/FM boolean, just cheaper.
+   Everything else is Unknown and falls through. *)
+
+type verdict = True | False | Unknown
+
+let disabled_by_env =
+  match Sys.getenv_opt "CQLOPT_NO_INTERVAL" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let enabled = ref (not disabled_by_env)
+
+let with_tier on f =
+  let prev = !enabled in
+  enabled := on;
+  Fun.protect ~finally:(fun () -> enabled := prev) f
+
+(* ----- the domain ----- *)
+
+(* one side of an interval: a finite rational endpoint, open or closed;
+   [None] at the interval level means unbounded on that side *)
+type bnd = { v : Rat.t; strict : bool }
+type itv = { lo : bnd option; hi : bnd option }
+
+let top = { lo = None; hi = None }
+
+let itv_is_empty i =
+  match (i.lo, i.hi) with
+  | Some l, Some h ->
+      let c = Rat.compare l.v h.v in
+      c > 0 || (c = 0 && (l.strict || h.strict))
+  | _ -> false
+
+(* tighter of two like-sided bounds; on a value tie the open one wins *)
+let max_lo a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some l1, Some l2 ->
+      let c = Rat.compare l1.v l2.v in
+      if c > 0 then a
+      else if c < 0 then b
+      else Some { l1 with strict = l1.strict || l2.strict }
+
+let min_hi a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some h1, Some h2 ->
+      let c = Rat.compare h1.v h2.v in
+      if c < 0 then a
+      else if c > 0 then b
+      else Some { h1 with strict = h1.strict || h2.strict }
+
+let meet i j = { lo = max_lo i.lo j.lo; hi = min_hi i.hi j.hi }
+
+let bnd_eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x.strict = y.strict && Rat.equal x.v y.v
+  | _ -> false
+
+let itv_eq i j = bnd_eq i.lo j.lo && bnd_eq i.hi j.hi
+
+(* environment: absent variables are unconstrained (⊤) *)
+type env = itv Var.Map.t
+
+let find env x = match Var.Map.find_opt x env with Some i -> i | None -> top
+let env_is_empty env = Var.Map.exists (fun _ i -> itv_is_empty i) env
+
+(* ----- interval arithmetic over linear expressions ----- *)
+
+(* [bound_expr ~upper env e] is a sound upper (resp. lower) bound of [e]
+   over the box, or [None] when unbounded on that side; [except] skips one
+   variable's term (the residual used by one-unknown propagation). *)
+let bound_expr ~upper ?except env (e : Linexpr.t) =
+  List.fold_left
+    (fun acc (x, c) ->
+      match acc with
+      | None -> None
+      | Some b -> (
+          if match except with Some y -> Var.id x = Var.id y | None -> false then acc
+          else
+            let i = find env x in
+            (* the upper bound of c·x uses hi(x) for c>0, lo(x) for c<0 *)
+            let side = if Rat.sign c > 0 = upper then i.hi else i.lo in
+            match side with
+            | None -> None
+            | Some s ->
+                (* unit coefficients dominate in practice; skip the rational
+                   multiply (a gcd normalization over bigints) when we can *)
+                let cs =
+                  if Rat.equal c Rat.one then s.v
+                  else if Rat.equal c Rat.minus_one then Rat.neg s.v
+                  else Rat.mul c s.v
+                in
+                let v = if Rat.is_zero b.v then cs else Rat.add b.v cs in
+                Some { v; strict = b.strict || s.strict }))
+    (Some { v = Linexpr.constant e; strict = false })
+    (Linexpr.terms e)
+
+(* does the box entail the atom, i.e. does every box point satisfy it? *)
+let entails env (a : Atom.t) =
+  match a.Atom.op with
+  | Atom.Le -> (
+      match bound_expr ~upper:true env a.Atom.expr with
+      | Some u -> Rat.sign u.v <= 0
+      | None -> false)
+  | Atom.Lt -> (
+      match bound_expr ~upper:true env a.Atom.expr with
+      | Some u -> Rat.sign u.v < 0 || (u.strict && Rat.sign u.v = 0)
+      | None -> false)
+  | Atom.Eq -> (
+      (* the whole box must sit at e = 0 exactly *)
+      match
+        (bound_expr ~upper:true env a.Atom.expr, bound_expr ~upper:false env a.Atom.expr)
+      with
+      | Some u, Some l -> (not u.strict) && (not l.strict) && Rat.is_zero u.v && Rat.is_zero l.v
+      | _ -> false)
+
+(* ----- bound propagation ----- *)
+
+(* one-unknown propagation of [e ⋈ 0] (⋈ strict or not): for each term
+   c·x, the rest of the expression has lower bound L over the box, so
+   c·x ≤ -L (strict when the atom or L is), i.e. x gains an upper bound
+   for c > 0 and a lower bound for c < 0 *)
+let propagate_ineq ~strict e (env, changed) =
+  List.fold_left
+    (fun (env, changed) (x, c) ->
+      match bound_expr ~upper:false ~except:x env e with
+      | None -> (env, changed)
+      | Some l ->
+          let v =
+            if Rat.equal c Rat.one then Rat.neg l.v
+            else if Rat.equal c Rat.minus_one then l.v
+            else Rat.div (Rat.neg l.v) c
+          in
+          let cand = Some { v; strict = strict || l.strict } in
+          let old = find env x in
+          let tightened =
+            if Rat.sign c > 0 then { old with hi = min_hi old.hi cand }
+            else { old with lo = max_lo old.lo cand }
+          in
+          if itv_eq tightened old then (env, changed)
+          else (Var.Map.add x tightened env, true))
+    (env, changed) (Linexpr.terms e)
+
+let propagate_atom acc (a : Atom.t) =
+  match a.Atom.op with
+  | Atom.Le -> propagate_ineq ~strict:false a.Atom.expr acc
+  | Atom.Lt -> propagate_ineq ~strict:true a.Atom.expr acc
+  | Atom.Eq ->
+      (* e = 0 propagates as e ≤ 0 and -e ≤ 0 *)
+      acc
+      |> propagate_ineq ~strict:false a.Atom.expr
+      |> propagate_ineq ~strict:false (Linexpr.neg a.Atom.expr)
+
+(* a small pass cap: each pass only tightens, so stopping early loses
+   precision (more Unknowns), never soundness *)
+let max_passes = 4
+
+let build ?(init = Var.Map.empty) atoms =
+  (* bounds only flow between variables through multi-term atoms; without
+     any, the first pass (direct bounds) is already the fixpoint *)
+  let multi =
+    List.exists
+      (fun (a : Atom.t) ->
+        match Linexpr.terms a.Atom.expr with _ :: _ :: _ -> true | _ -> false)
+      atoms
+  in
+  let rec go env pass =
+    let env, changed = List.fold_left propagate_atom (env, false) atoms in
+    if env_is_empty env then env (* already conclusive *)
+    else if multi && changed && pass < max_passes then go env (pass + 1)
+    else env
+  in
+  go init 1
+
+(* ----- memoized environments and verdicts ----- *)
+
+let env_memo : (int, env) Memo.cache = Memo.create ~name:"interval_env"
+
+let env_of ~id atoms =
+  Memo.cached env_memo id (fun () ->
+      Solver_stats.count_interval_env_build ();
+      build atoms)
+
+(* abstract satisfiability of an atom list over a (pre-built) box *)
+let sat_env env atoms =
+  if env_is_empty env then False
+  else if List.for_all (entails env) atoms then True
+  else Unknown
+
+let sat ~id atoms = match atoms with [] -> True | _ -> sat_env (env_of ~id atoms) atoms
+
+let implies_atom ~id atoms (a : Atom.t) =
+  let env = env_of ~id atoms in
+  if env_is_empty env then True
+  else if entails env a then True
+  else
+    (* c ⊨ a  iff  every disjunct of ¬a is unsatisfiable with c; seed the
+       refinement with c's memoized box *)
+    let verdict_neg na =
+      let all = na :: atoms in
+      sat_env (build ~init:env all) all
+    in
+    let vs = List.map verdict_neg (Atom.negate a) in
+    if List.exists (fun v -> v = True) vs then False
+    else if List.for_all (fun v -> v = False) vs then True
+    else Unknown
+
+let implies ~id atoms datoms =
+  let env = env_of ~id atoms in
+  if env_is_empty env then True
+  else if List.for_all (entails env) datoms then True
+  else Unknown
+
+let disjoint ~id1 atoms1 ~id2 atoms2 =
+  let e1 = env_of ~id:id1 atoms1 in
+  let e2 = env_of ~id:id2 atoms2 in
+  env_is_empty e1 || env_is_empty e2
+  || Var.Map.exists
+       (fun x i1 ->
+         match Var.Map.find_opt x e2 with
+         | Some i2 -> itv_is_empty (meet i1 i2)
+         | None -> false)
+       e1

@@ -16,6 +16,11 @@ let simplex_runs = Obs.counter "solver.simplex_runs"
 let simplex_pivots = Obs.counter "solver.simplex_pivots"
 let fm_eliminations = Obs.counter "solver.fm_eliminations"
 let pivot_limit_hits = Obs.counter "solver.pivot_limit_hits"
+let interval_env_builds = Obs.counter "solver.interval.env_builds"
+let interval_sat_hits = Obs.counter "solver.interval.sat_hits"
+let interval_implies_hits = Obs.counter "solver.interval.implies_hits"
+let interval_disjoint_hits = Obs.counter "solver.interval.disjoint_hits"
+let interval_bails = Obs.counter "solver.interval.bails"
 
 let count_sat_check () = Obs.incr sat_checks
 let count_implies_check () = Obs.incr implies_checks
@@ -26,6 +31,11 @@ let count_simplex_run () = Obs.incr simplex_runs
 let count_simplex_pivot () = Obs.incr simplex_pivots
 let count_fm_elimination () = Obs.incr fm_eliminations
 let count_pivot_limit () = Obs.incr pivot_limit_hits
+let count_interval_env_build () = Obs.incr interval_env_builds
+let count_interval_sat_hit () = Obs.incr interval_sat_hits
+let count_interval_implies_hit () = Obs.incr interval_implies_hits
+let count_interval_disjoint_hit () = Obs.incr interval_disjoint_hits
+let count_interval_bail () = Obs.incr interval_bails
 
 type t = {
   sat_checks : int;
@@ -37,6 +47,11 @@ type t = {
   simplex_pivots : int;
   fm_eliminations : int;
   pivot_limit_hits : int;
+  interval_env_builds : int;
+  interval_sat_hits : int;
+  interval_implies_hits : int;
+  interval_disjoint_hits : int;
+  interval_bails : int;
   caches : Memo.table_stats list;
 }
 
@@ -50,6 +65,11 @@ let reset () =
   Obs.set simplex_pivots 0;
   Obs.set fm_eliminations 0;
   Obs.set pivot_limit_hits 0;
+  Obs.set interval_env_builds 0;
+  Obs.set interval_sat_hits 0;
+  Obs.set interval_implies_hits 0;
+  Obs.set interval_disjoint_hits 0;
+  Obs.set interval_bails 0;
   Memo.reset_stats ()
 
 let snapshot () =
@@ -63,6 +83,11 @@ let snapshot () =
     simplex_pivots = Obs.value simplex_pivots;
     fm_eliminations = Obs.value fm_eliminations;
     pivot_limit_hits = Obs.value pivot_limit_hits;
+    interval_env_builds = Obs.value interval_env_builds;
+    interval_sat_hits = Obs.value interval_sat_hits;
+    interval_implies_hits = Obs.value interval_implies_hits;
+    interval_disjoint_hits = Obs.value interval_disjoint_hits;
+    interval_bails = Obs.value interval_bails;
     caches = Memo.stats ();
   }
 
@@ -83,6 +108,10 @@ let pp fmt s =
   Format.fprintf fmt
     "solver: simplex_runs=%d simplex_pivots=%d fm_eliminations=%d pivot_limit_hits=%d@\n"
     s.simplex_runs s.simplex_pivots s.fm_eliminations s.pivot_limit_hits;
+  Format.fprintf fmt
+    "solver: interval env_builds=%d sat_hits=%d implies_hits=%d disjoint_hits=%d bails=%d@\n"
+    s.interval_env_builds s.interval_sat_hits s.interval_implies_hits s.interval_disjoint_hits
+    s.interval_bails;
   List.iter
     (fun (c : Memo.table_stats) ->
       Format.fprintf fmt "cache : %-16s hits=%-8d misses=%-8d entries=%-7d hit_rate=%.3f@\n"

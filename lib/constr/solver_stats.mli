@@ -32,6 +32,28 @@ val count_pivot_limit : unit -> unit
     ({!Simplex.Pivot_limit}); {!Conj.is_sat} counts these when it falls back
     to Fourier–Motzkin. *)
 
+(** {2 Interval fast tier ({!Interval})} *)
+
+val count_interval_env_build : unit -> unit
+(** One interval environment actually constructed by bound propagation (a
+    miss of the ["interval_env"] cache). *)
+
+val count_interval_sat_hit : unit -> unit
+(** One {!Conj.is_sat} query decided by the interval tier (either verdict)
+    without reaching the memoized exact procedure. *)
+
+val count_interval_implies_hit : unit -> unit
+(** One {!Conj.implies} / {!Conj.implies_atom} query decided by the
+    interval tier. *)
+
+val count_interval_disjoint_hit : unit -> unit
+(** One pairwise implication skipped ({!Cset} prune) or one
+    {!Cset.conj_implies} answered early on interval box-disjointness. *)
+
+val count_interval_bail : unit -> unit
+(** One query where the tier ran but returned Unknown, falling through to
+    the exact procedure. *)
+
 (** {1 Snapshots} *)
 
 type t = {
@@ -44,6 +66,11 @@ type t = {
   simplex_pivots : int;
   fm_eliminations : int;
   pivot_limit_hits : int;  (** simplex solves abandoned at the pivot budget *)
+  interval_env_builds : int;  (** interval environments constructed *)
+  interval_sat_hits : int;  (** is_sat decided by the interval tier *)
+  interval_implies_hits : int;  (** implies/implies_atom decided by the tier *)
+  interval_disjoint_hits : int;  (** cset work pruned by box-disjointness *)
+  interval_bails : int;  (** tier ran but fell through to the exact tier *)
   caches : Memo.table_stats list;
 }
 

@@ -11,7 +11,7 @@ module Decidable = Cql_core.Decidable
 module Adorn = Cql_core.Adorn
 module Gmt = Cql_core.Gmt
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update | Tier
 
 let oracle_name = function
   | Answers -> "answers"
@@ -22,6 +22,7 @@ let oracle_name = function
   | Cache -> "cache"
   | Parallel -> "parallel"
   | Update -> "update"
+  | Tier -> "interval"
 
 let oracle_of_name = function
   | "answers" -> Answers
@@ -32,6 +33,7 @@ let oracle_of_name = function
   | "cache" -> Cache
   | "parallel" -> Parallel
   | "update" -> Update
+  | "interval" -> Tier
   | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
 
 type update_op = Insert of F.t | Retract of F.t
@@ -175,6 +177,46 @@ let check_parallel_differential ~max_iterations ~max_derivations ~max_iters st p
         None
       end
   | _ -> Some "constraint_rewrite applicability differs between jobs=1 and jobs=4"
+
+(* ----- the interval-tier differential (oracle 9) ----- *)
+
+(* Run the heaviest rewrite and an evaluation of its output with the
+   interval fast tier enabled and disabled, each from a fresh cache state,
+   and require an alpha-equivalent rewritten program, identical sorted
+   answers and identical fixpoint status.  The abstract tier may only ever
+   change which procedure answers a query, never the answer. *)
+let check_interval_differential ~max_iterations ~max_derivations ~max_iters st p edb =
+  let run_with on =
+    Interval.with_tier on (fun () ->
+        Memo.clear_all ();
+        match Rw.constraint_rewrite ~max_iters p with
+        | exception (Invalid_argument _ | Failure _) -> None
+        | p', _ ->
+            let res = Engine.run ~max_iterations ~max_derivations p' ~edb in
+            Some
+              ( p',
+                List.sort F.compare (Engine.answers res p'),
+                (Engine.stats res).Engine.reached_fixpoint ))
+  in
+  match (run_with true, run_with false) with
+  | None, None -> None
+  | Some (p1, a1, f1), Some (p2, a2, f2) ->
+      if not (Program.equal_mod_renaming p1 p2) then
+        Some
+          (Printf.sprintf
+             "constraint_rewrite output differs with the interval tier on vs off:\n\
+              --- on ---\n\
+              %s\n\
+              --- off ---\n\
+              %s"
+             (Program.to_string p1) (Program.to_string p2))
+      else if f1 <> f2 || not (List.equal F.equal a1 a2) then
+        Some "evaluation answers differ with the interval tier on vs off"
+      else begin
+        st.checks <- st.checks + 1;
+        None
+      end
+  | _ -> Some "constraint_rewrite applicability differs with the interval tier on vs off"
 
 (* ----- pipelines ----- *)
 
@@ -358,6 +400,11 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             with
             | Some detail -> fail Parallel "eval" detail
             | None -> (
+            match
+              check_interval_differential ~max_iterations ~max_derivations ~max_iters st p edb
+            with
+            | Some detail -> fail Tier "constraint_rewrite" detail
+            | None -> (
             let orig_preds = Program.predicates p in
             let orig_facts pred = Engine.facts_of res0 pred in
             let answers0 = Engine.answers res0 p in
@@ -451,7 +498,7 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             | None -> (
                 match check_solver_pool st !solver_pool with
                 | Some detail -> fail Solver "solver" detail
-                | None -> None)))))
+                | None -> None))))))
   end
 
 (* ----- shrinking ----- *)

@@ -1,7 +1,7 @@
 (** Differential fuzzing harness: run generated (program, query, EDB) cases
     through every rewrite pipeline and check the equivalence oracles.
 
-    Seven oracles guard the paper's claims and the implementation:
+    Nine oracles guard the paper's claims and the implementation:
 
     + {b Answers} — query-answer equivalence: the rewritten program computes
       exactly the original's query answers (Theorems 4.7/4.8, 6.2, 7.10),
@@ -34,6 +34,11 @@
       the sorted answers, per-predicate fact state, per-fact support counts
       and fixpoint status of a from-scratch re-evaluation of the current
       EDB multiset ({!run_update}, [--mode update]).
+    + {b Tier} — the interval fast tier ({!Cql_constr.Interval}) never
+      changes a result: the [constraint_rewrite] output (mod renaming), the
+      sorted answers of its evaluation and the fixpoint status are identical
+      with the tier enabled and disabled, each run starting from a fresh
+      cache state (reported as ["interval"]).
 
     On failure the harness shrinks the case — dropping rules, EDB facts,
     update ops, body literals and constraint atoms while the failure
@@ -44,7 +49,7 @@
 open Cql_constr
 open Cql_datalog
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update
+type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update | Tier
 
 val oracle_name : oracle -> string
 

@@ -496,6 +496,9 @@ let test_pivot_limit () =
     (Simplex.with_pivot_limit 1 (fun () -> Simplex.is_sat [ Atom.ge vx (n 1) ]))
 
 let test_pivot_limit_fm_fallback () =
+  (* pin the exact tier: the interval box decides unsat_c outright and
+     would keep the second solve from ever tripping the pivot budget *)
+  Interval.with_tier false @@ fun () ->
   Memo.clear_all ();
   Solver_stats.reset ();
   (* fresh conjunctions (constants unused elsewhere) so the sat memo can't
@@ -583,6 +586,22 @@ let prop_negate_conj_complement =
     (QCheck.make QCheck.Gen.(pair conj_gen point_gen)) (fun (c, env) ->
       eval_cset env (Cset.negate_conj c) = not (eval_conj env c))
 
+let prop_interval_transparent =
+  (* the interval fast tier never changes a decision-procedure result or a
+     pruned cset, only how it is computed (fresh caches on both sides) *)
+  QCheck.Test.make ~name:"interval tier is result-transparent" ~count:300
+    (QCheck.make QCheck.Gen.(triple conj_gen conj_gen conj_gen)) (fun (a, b, c) ->
+      let run on =
+        Interval.with_tier on (fun () ->
+            Memo.with_caches true (fun () ->
+                let sat = Conj.is_sat a in
+                let imp = Conj.implies a b in
+                let cs = Cset.or_ (Cset.of_disjuncts [ a; b ]) (Cset.of_conj c) in
+                let ci = Cset.conj_implies a (Cset.of_disjuncts [ b; c ]) in
+                (sat, imp, Cset.to_string cs, ci)))
+      in
+      run true = run false)
+
 (* ----- hash-consing and memoization ----- *)
 
 let test_hashcons_interning () =
@@ -603,6 +622,9 @@ let total_entries () =
   List.fold_left (fun acc (s : Memo.table_stats) -> acc + s.Memo.entries) 0 (Memo.stats ())
 
 let test_memo_hit_counting () =
+  (* pin the exact tier so the hits/misses counted here are the memoized
+     decision procedures', not the interval env cache's *)
+  Interval.with_tier false @@ fun () ->
   Memo.clear_all ();
   Solver_stats.reset ();
   let c = Conj.of_list [ Atom.le vx (n 2); Atom.le vy vx ] in
@@ -620,6 +642,7 @@ let test_memo_hit_counting () =
   check_bool "hit rate nonzero" true (Solver_stats.hit_rate s2 > 0.0)
 
 let test_memo_clear_all () =
+  Interval.with_tier false @@ fun () ->
   Memo.clear_all ();
   Solver_stats.reset ();
   let c = Conj.of_list [ Atom.le vx (n 2); Atom.le vy vx ] in
@@ -634,6 +657,7 @@ let test_memo_clear_all () =
     (Solver_stats.total_misses (Solver_stats.snapshot ()) > misses_before)
 
 let test_memo_with_caches_off () =
+  Interval.with_tier false @@ fun () ->
   let c = Conj.of_list [ Atom.le vx (n 2); Atom.le vy vx ] in
   let d = Conj.of_list [ Atom.le vx (n 5) ] in
   let unsat = Conj.of_list [ Atom.le vx (n 0); Atom.le (n 1) vx ] in
@@ -648,6 +672,155 @@ let test_memo_with_caches_off () =
   check_bool "caches change nothing but speed" true (cached = uncached);
   check_bool "enabled restored" true !Memo.enabled;
   check_int "fresh state on exit" 0 (total_entries ())
+
+(* ----- the interval fast tier ----- *)
+
+let itv_sat atoms =
+  let c = conj atoms in
+  Interval.sat ~id:(Conj.id c) (Conj.to_list c)
+
+let itv_implies_atom atoms a =
+  let c = conj atoms in
+  Interval.implies_atom ~id:(Conj.id c) (Conj.to_list c) a
+
+let itv_disjoint atoms atoms' =
+  let c = conj atoms and c' = conj atoms' in
+  Interval.disjoint ~id1:(Conj.id c) (Conj.to_list c) ~id2:(Conj.id c') (Conj.to_list c')
+
+let test_interval_verdicts () =
+  (* satisfiability: box verdicts agree with the exact answers above *)
+  check_bool "bounded sat box" true (itv_sat [ Atom.ge vx (n 0); Atom.le vx (n 4) ] = Interval.True);
+  check_bool "empty box" true (itv_sat [ Atom.le vx (n 0); Atom.ge vx (n 1) ] = Interval.False);
+  check_bool "strictly empty box" true
+    (itv_sat [ Atom.lt vx (n 1); Atom.ge vx (n 1) ] = Interval.False);
+  check_bool "point box with equality" true (itv_sat [ Atom.eq vx (n 5) ] = Interval.True);
+  (* one-unknown propagation through a two-variable atom *)
+  check_bool "propagated empty box" true
+    (itv_sat [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2); Atom.ge vy (n 3) ]
+    = Interval.False);
+  check_bool "propagated sat box" true
+    (itv_sat [ Atom.le (Linexpr.add vx vy) (n 4); Atom.ge vx (n 2); Atom.ge vy (n 2) ]
+    = Interval.True);
+  (* purely relational conjunctions are beyond the box: fall through *)
+  check_bool "relational cycle is Unknown" true
+    (itv_sat [ Atom.le vx vy; Atom.le vy vz; Atom.le vz vx ] = Interval.Unknown);
+  (* entailment and refutation *)
+  check_bool "box entails the weaker bound" true
+    (itv_implies_atom [ Atom.le vx (n 2); Atom.le vy vx ] (Atom.le vx (n 5)) = Interval.True);
+  check_bool "box refutes the contradicted bound" true
+    (itv_implies_atom [ Atom.le vx (n 2) ] (Atom.ge vx (n 3)) = Interval.False);
+  check_bool "relational goal is Unknown" true
+    (itv_implies_atom [ Atom.le vx (n 2) ] (Atom.le vx vy) = Interval.Unknown);
+  (* pairwise box disjointness *)
+  check_bool "separated intervals" true (itv_disjoint [ Atom.le vx (n 1) ] [ Atom.ge vx (n 5) ]);
+  check_bool "touching closed intervals meet" false
+    (itv_disjoint [ Atom.le vx (n 2) ] [ Atom.ge vx (n 2) ]);
+  check_bool "touching open intervals are disjoint" true
+    (itv_disjoint [ Atom.lt vx (n 2) ] [ Atom.ge vx (n 2) ]);
+  check_bool "different variables never separate" false
+    (itv_disjoint [ Atom.le vx (n 1) ] [ Atom.ge vy (n 5) ])
+
+let cache_entries (s : Solver_stats.t) name =
+  List.fold_left
+    (fun acc (t : Memo.table_stats) -> if t.Memo.name = name then acc + t.Memo.entries else acc)
+    0 s.Solver_stats.caches
+
+let test_interval_fast_paths () =
+  Interval.with_tier true @@ fun () ->
+  Memo.clear_all ();
+  Solver_stats.reset ();
+  let c = conj [ Atom.ge vx (n 0); Atom.le vx (n 4) ] in
+  let u = conj [ Atom.le vx (n 0); Atom.ge vx (n 1) ] in
+  check_bool "tier decides sat" true (Conj.is_sat c);
+  check_bool "tier decides unsat" false (Conj.is_sat u);
+  let s = Solver_stats.snapshot () in
+  check_int "both decided by the tier" 2 s.Solver_stats.interval_sat_hits;
+  check_int "no simplex run" 0 s.Solver_stats.simplex_runs;
+  check_int "tier booleans land in the memo" 2 (cache_entries s "conj_is_sat");
+  check_bool "envs were built" true (s.Solver_stats.interval_env_builds > 0);
+  (* warm repeat: a memo lookup, no further tier work *)
+  check_bool "memoized repeat" true (Conj.is_sat c);
+  check_int "no extra tier hit on the repeat" 2
+    (Solver_stats.snapshot ()).Solver_stats.interval_sat_hits;
+  (* a relational conjunction bails to the exact tier *)
+  let r = conj [ Atom.le vx vy; Atom.le vy vz; Atom.le vz vx ] in
+  check_bool "exact tier decides the bail" true (Conj.is_sat r);
+  let s2 = Solver_stats.snapshot () in
+  check_bool "bail counted" true (s2.Solver_stats.interval_bails > 0);
+  check_bool "simplex ran on the bail" true (s2.Solver_stats.simplex_runs > 0)
+
+(* interval-tier hits and memo hits never double-count: the cold query a
+   box decides is one interval hit (the boolean is stored as a fresh memo
+   entry), the warm repeat is one memo hit and no further tier work — one
+   counter per query, and the exact procedures never run *)
+let test_interval_memo_hygiene () =
+  Interval.with_tier true @@ fun () ->
+  Memo.clear_all ();
+  Solver_stats.reset ();
+  let c = conj [ Atom.le vx (n 2); Atom.le vy (n 1) ] in
+  let d = conj [ Atom.le vx (n 5) ] in
+  check_bool "implies holds" true (Conj.implies c d);
+  check_bool "implies holds on repeat" true (Conj.implies c d);
+  let s = Solver_stats.snapshot () in
+  check_int "one tier hit (the cold query)" 1 s.Solver_stats.interval_implies_hits;
+  check_int "raw counter still sees both entries" 2 s.Solver_stats.implies_checks;
+  check_int "tier boolean became one memo entry" 1 (cache_entries s "conj_implies");
+  check_int "no per-atom entries (tier decided first)" 0 (cache_entries s "conj_implies_atom");
+  check_int "no conj_is_sat entries" 0 (cache_entries s "conj_is_sat");
+  check_bool "env cache populated" true (cache_entries s "interval_env" > 0);
+  let memo_hits name =
+    List.fold_left
+      (fun acc (t : Memo.table_stats) -> if t.Memo.name = name then acc + t.Memo.hits else acc)
+      0 s.Solver_stats.caches
+  in
+  check_int "warm repeat was one memo hit" 1 (memo_hits "conj_implies");
+  (* exactly one counter fired per query: 1 interval hit + 1 memo hit = 2 checks *)
+  check_int "no double counting" s.Solver_stats.implies_checks
+    (s.Solver_stats.interval_implies_hits + memo_hits "conj_implies");
+  check_int "simplex never ran" 0 s.Solver_stats.simplex_runs
+
+let test_cset_prune_multi () =
+  (* three disjuncts: (0<=X<=1) | (0<=X<=3) | (5<=X<=6); the first is
+     subsumed by the second, the third is box-disjoint from both *)
+  let d1 = conj [ Atom.ge vx (n 0); Atom.le vx (n 1) ] in
+  let d2 = conj [ Atom.ge vx (n 0); Atom.le vx (n 3) ] in
+  let d3 = conj [ Atom.ge vx (n 5); Atom.le vx (n 6) ] in
+  let check_pruned label cs =
+    check_int (label ^ ": two disjuncts survive") 2 (Cset.num_disjuncts cs);
+    check_bool (label ^ ": subsumed disjunct gone") false
+      (List.exists (Conj.equal d1) (Cset.disjuncts cs));
+    check_bool (label ^ ": incomparable pair kept") true
+      (List.exists (Conj.equal d2) (Cset.disjuncts cs)
+      && List.exists (Conj.equal d3) (Cset.disjuncts cs))
+  in
+  Memo.clear_all ();
+  Solver_stats.reset ();
+  let pruned on =
+    Interval.with_tier on (fun () ->
+        Cset.or_ (Cset.of_disjuncts [ d1; d2 ]) (Cset.of_conj d3))
+  in
+  let with_on = pruned true in
+  check_bool "disjoint prefilter fired" true
+    ((Solver_stats.snapshot ()).Solver_stats.interval_disjoint_hits > 0);
+  let with_off = pruned false in
+  check_pruned "tier on" with_on;
+  check_pruned "tier off" with_off;
+  check_bool "tier changes nothing" true (Cset.equal with_on with_off);
+  (* a 2-disjunct set of incomparable disjuncts survives prune intact *)
+  check_int "incomparable pair intact" 2
+    (Cset.num_disjuncts (Cset.or_ (Cset.of_conj d2) (Cset.of_conj d3)));
+  (* conj_implies bails early when the left side is box-disjoint from every
+     disjunct: no DNF residue is built *)
+  Solver_stats.reset ();
+  let far = conj [ Atom.ge vx (n 10); Atom.le vx (n 11) ] in
+  Interval.with_tier true (fun () ->
+      check_bool "disjoint conj_implies is false" false
+        (Cset.conj_implies far (Cset.of_disjuncts [ d1; d3 ])));
+  check_bool "early bail counted" true
+    ((Solver_stats.snapshot ()).Solver_stats.interval_disjoint_hits > 0);
+  Interval.with_tier false (fun () ->
+      check_bool "exact tier agrees" false
+        (Cset.conj_implies far (Cset.of_disjuncts [ d1; d3 ])))
 
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
@@ -698,6 +871,13 @@ let () =
           Alcotest.test_case "clear_all" `Quick test_memo_clear_all;
           Alcotest.test_case "with_caches off" `Quick test_memo_with_caches_off;
         ] );
+      ( "interval",
+        [
+          Alcotest.test_case "verdicts" `Quick test_interval_verdicts;
+          Alcotest.test_case "fast paths and counters" `Quick test_interval_fast_paths;
+          Alcotest.test_case "memo hygiene" `Quick test_interval_memo_hygiene;
+          Alcotest.test_case "cset prune multi-disjunct" `Quick test_cset_prune_multi;
+        ] );
       ( "extra",
         [
           Alcotest.test_case "negate_conj" `Quick test_cset_negate_conj;
@@ -714,6 +894,7 @@ let () =
             prop_cset_or_is_union;
             prop_cset_and_is_intersection;
             prop_negate_conj_complement;
+            prop_interval_transparent;
             prop_sat_sound;
             prop_project_sound;
             prop_implies_sound;
