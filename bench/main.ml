@@ -5,7 +5,8 @@
    paper-vs-measured record):
 
      table1 table2 fig1 fig2 ex41 ex51 ex43 ex44 ex61 d1 d2 optimal
-     ablation-disjuncts ablation-single bound fuzz
+     ablation-disjuncts ablation-single ablation-stratified bound
+     solver-interval fuzz parallel serve compiled
 
    Usage:
      dune exec bench/main.exe              run every experiment
@@ -608,12 +609,97 @@ let parallel_rows () =
 let run_parallel () =
   header "PARALLEL: domain-pool semi-naive evaluation (flights-P, 10 cities)";
   paper "(no paper counterpart -- implementation scaling)";
-  Printf.printf "  recommended domains on this machine: %d\n" (Cql_par.Pool.recommended_jobs ());
+  let cores = Cql_par.Pool.recommended_jobs () in
+  Printf.printf "  recommended domains on this machine: %d%s\n" cores
+    (if cores = 1 then "  (single core: speedup vs jobs=1 is noise, omitted)" else "");
   List.iter
     (fun (jobs, secs, speedup, same) ->
-      Printf.printf "  jobs=%d  wall=%8.3f ms  speedup=%.2fx  derivations_match_jobs1=%b\n" jobs
-        (secs *. 1000.) speedup same)
+      if cores > 1 then
+        Printf.printf "  jobs=%d  wall=%8.3f ms  speedup=%.2fx  derivations_match_jobs1=%b\n" jobs
+          (secs *. 1000.) speedup same
+      else
+        Printf.printf "  jobs=%d  wall=%8.3f ms  derivations_match_jobs1=%b\n" jobs
+          (secs *. 1000.) same)
     (parallel_rows ())
+
+(* ----- compiled join plans (lib/eval/compile) ----- *)
+
+let compiled_reps = 3
+
+type compiled_row = {
+  cw_name : string;
+  cw_compiled_s : float;
+  cw_interp_s : float;
+  cw_compiled_bytes : float;
+  cw_interp_bytes : float;
+  cw_answers_match : bool;
+  cw_derivs : (int * int * int) list;  (** jobs, compiled, interpreted *)
+}
+
+(* the three timing workloads: the raw recursive flights program (join-heavy,
+   budget-capped), the constrained backward Fibonacci after magic rewriting,
+   and D.1 under qrp,mg.  Each runs register-frame compiled and
+   tuple-at-a-time interpreted ([Compile.with_compile]) from identical
+   inputs; the [Gc.allocated_bytes] delta of one run quantifies the
+   per-candidate substitution allocation the mutable frame removes *)
+let compiled_workloads () =
+  let d1qm, _ = Rewrite.sequence [ Rewrite.Qrp; magic_ff ] (parse d1_src) in
+  [
+    ("flights-P", parse flights_src, singleleg_edb 110 16, 8, 30_000);
+    ("fib-magic", fib_magic_constrained 5, [], 30, 200_000);
+    ("d1-qrp-mg", d1qm, segments_edb 12 5, 30, 200_000);
+  ]
+
+let compiled_row (name, prog, edb, mi, md) =
+  let run ~jobs () = Engine.run ~jobs ~max_iterations:mi ~max_derivations:md prog ~edb in
+  let side on =
+    Compile.with_compile on (fun () ->
+        let secs, res = time_best compiled_reps (run ~jobs:1) in
+        let a0 = Gc.allocated_bytes () in
+        ignore (run ~jobs:1 ());
+        (secs, Gc.allocated_bytes () -. a0, res))
+  in
+  let c_secs, c_bytes, c_res = side true in
+  let i_secs, i_bytes, i_res = side false in
+  let fact_set res =
+    List.sort compare
+      (List.concat_map
+         (fun (p, fs) -> List.map (fun f -> p ^ ":" ^ Fact.to_string f) fs)
+         (Engine.all_facts res))
+  in
+  let derivs on jobs =
+    Compile.with_compile on (fun () -> (Engine.stats (run ~jobs ())).Engine.derivations)
+  in
+  {
+    cw_name = name;
+    cw_compiled_s = c_secs;
+    cw_interp_s = i_secs;
+    cw_compiled_bytes = c_bytes;
+    cw_interp_bytes = i_bytes;
+    cw_answers_match = fact_set c_res = fact_set i_res;
+    cw_derivs = List.map (fun jobs -> (jobs, derivs true jobs, derivs false jobs)) [ 1; 4 ];
+  }
+
+let compiled_rows () = List.map compiled_row (compiled_workloads ())
+
+let run_compiled () =
+  header "COMPILED: register-frame join plans vs the Subst interpreter";
+  paper "(no paper counterpart -- rule-execution backend; CQLOPT_NO_COMPILE reverts)";
+  Printf.printf "  %-12s %12s %12s %9s %11s %8s %s\n" "workload" "compiled" "interpreted"
+    "speedup" "alloc-ratio" "match" "derivations jobs{1,4}";
+  List.iter
+    (fun r ->
+      let speedup = if r.cw_compiled_s > 0.0 then r.cw_interp_s /. r.cw_compiled_s else 0.0 in
+      let alloc =
+        if r.cw_compiled_bytes > 0.0 then r.cw_interp_bytes /. r.cw_compiled_bytes else 0.0
+      in
+      let dmatch = List.for_all (fun (_, dc, di) -> dc = di) r.cw_derivs in
+      Printf.printf "  %-12s %9.3f ms %9.3f ms %8.2fx %10.2fx %8b %s\n" r.cw_name
+        (r.cw_compiled_s *. 1000.) (r.cw_interp_s *. 1000.) speedup alloc r.cw_answers_match
+        (String.concat " "
+           (List.map (fun (j, dc, di) -> Printf.sprintf "j%d:%d/%d" j dc di) r.cw_derivs)
+        ^ if dmatch then " (equal)" else " (MISMATCH)"))
+    (compiled_rows ())
 
 (* ----- serving (lib/serve): cqlserved under concurrent load ----- *)
 
@@ -1106,24 +1192,82 @@ let json_trace () =
    single-core box every speedup is necessarily ~1.0) *)
 let json_parallel () =
   let rows = parallel_rows () in
+  let cores = Cql_par.Pool.recommended_jobs () in
   Obj
     [
       ("workload", Str "flights-P (10 cities, capped at 6 iterations / 4000 derivations)");
-      ("cores", jint (Cql_par.Pool.recommended_jobs ()));
+      ("cores", jint cores);
       ("reps", jint parallel_reps);
       ( "runs",
         List
           (List.map
              (fun (jobs, secs, speedup, same) ->
                Obj
-                 [
-                   ("jobs", jint jobs);
-                   ("wall_seconds", Raw (Printf.sprintf "%.6f" secs));
-                   ("speedup_vs_jobs1", jfloat speedup);
-                   ("derivations_match_jobs1", jbool same);
-                 ])
+                 ([
+                    ("jobs", jint jobs);
+                    ("wall_seconds", Raw (Printf.sprintf "%.6f" secs));
+                  ]
+                 (* on a single-core box a jobs>1 run measures domain-pool
+                    overhead, not parallelism: report null rather than a
+                    number that reads as a scaling result *)
+                 @ (if cores > 1 then [ ("speedup_vs_jobs1", jfloat speedup) ]
+                    else
+                      [
+                        ("speedup_vs_jobs1", Raw "null");
+                        ("speedup_suppressed_single_core", jbool true);
+                      ])
+                 @ [ ("derivations_match_jobs1", jbool same) ]))
              rows) );
     ]
+
+(* compiled vs interpreted rule execution on the three timing workloads;
+   [answers_match] compares the full sorted fact sets and [derivations]
+   must agree pairwise for jobs in {1, 4} (the transparency contract) *)
+let json_compiled () =
+  let module Obs = Cql_obs.Obs in
+  let rows = compiled_rows () in
+  let runs =
+    List.map
+      (fun r ->
+        let speedup = if r.cw_compiled_s > 0.0 then r.cw_interp_s /. r.cw_compiled_s else 0.0 in
+        Obj
+          [
+            ("workload", Str r.cw_name);
+            ("reps", jint compiled_reps);
+            ("compiled_wall_seconds", Raw (Printf.sprintf "%.6f" r.cw_compiled_s));
+            ("interpreted_wall_seconds", Raw (Printf.sprintf "%.6f" r.cw_interp_s));
+            ("speedup", jfloat speedup);
+            ("compiled_allocated_bytes", Raw (Printf.sprintf "%.0f" r.cw_compiled_bytes));
+            ("interpreted_allocated_bytes", Raw (Printf.sprintf "%.0f" r.cw_interp_bytes));
+            ( "allocation_ratio",
+              jfloat
+                (if r.cw_compiled_bytes > 0.0 then r.cw_interp_bytes /. r.cw_compiled_bytes
+                 else 0.0) );
+            ("answers_match", jbool r.cw_answers_match);
+            ( "derivations",
+              List
+                (List.map
+                   (fun (jobs, dc, di) ->
+                     Obj
+                       [
+                         ("jobs", jint jobs);
+                         ("compiled", jint dc);
+                         ("interpreted", jint di);
+                         ("match", jbool (dc = di));
+                       ])
+                   r.cw_derivs) );
+            ( "derivations_match",
+              jbool (List.for_all (fun (_, dc, di) -> dc = di) r.cw_derivs) );
+          ])
+      rows
+  in
+  let counters =
+    Obj
+      (List.map
+         (fun n -> (n, jint (Obs.value (Obs.counter ("engine.compile." ^ n)))))
+         [ "programs_compiled"; "ops"; "frame_width"; "cache_hits" ])
+  in
+  Obj [ ("runs", List runs); ("compile_counters", counters) ]
 
 (* cqlserved under concurrent load; the loadgen payload embeds via [Raw]
    since Loadgen.to_json prints through lib/serve's own JSON type *)
@@ -1161,6 +1305,7 @@ let run_json () =
               ("solver_interval", json_solver_interval ());
               ("trace", Obj (json_trace ()));
               ("parallel", json_parallel ());
+              ("compiled", json_compiled ());
               ("serve", json_serve ());
             ] );
         ("timings", List timings);
@@ -1197,6 +1342,7 @@ let experiments =
     ("solver-interval", run_solver_interval);
     ("fuzz", run_fuzz);
     ("parallel", run_parallel);
+    ("compiled", run_compiled);
     ("serve", run_serve);
     ("time", run_timings);
     ("json", run_json);

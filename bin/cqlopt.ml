@@ -76,6 +76,16 @@ let no_interval_arg =
 let apply_interval no_interval =
   if no_interval then Cql_constr.Interval.enabled := false
 
+let no_compile_arg =
+  Arg.(value & flag & info [ "no-compile" ]
+         ~doc:"Disable register-frame join-plan compilation, running every \
+               rule through the tuple-at-a-time substitution interpreter \
+               (equivalent to setting \\$CQLOPT_NO_COMPILE)")
+
+(* same one-way convention as --no-interval *)
+let apply_compile no_compile =
+  if no_compile then Cql_eval.Compile.enabled := false
+
 let print_solver_stats flag =
   if flag then
     Format.eprintf "%a@?" Cql_constr.Solver_stats.pp (Cql_constr.Solver_stats.snapshot ())
@@ -167,9 +177,10 @@ let parse_steps adornment constraint_magic s =
 
 let rewrite_cmd =
   let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
-      solver_stats jobs no_interval trace_json metrics =
+      solver_stats jobs no_interval no_compile trace_json metrics =
     apply_jobs jobs;
     apply_interval no_interval;
+    apply_compile no_compile;
     apply_tracing trace_json metrics;
     let code =
     match read_program path with
@@ -238,7 +249,7 @@ let rewrite_cmd =
   let term =
     Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
           $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg $ jobs_arg
-          $ no_interval_arg $ trace_json_arg $ metrics_arg)
+          $ no_interval_arg $ no_compile_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "rewrite" ~doc:"Rewrite a program by pushing constraint selections") term
 
@@ -246,9 +257,10 @@ let rewrite_cmd =
 
 let eval_cmd =
   let run path edb_path max_iterations max_derivations traced naive explain stratified
-      solver_stats jobs no_interval trace_json metrics =
+      solver_stats jobs no_interval no_compile trace_json metrics =
     apply_jobs jobs;
     apply_interval no_interval;
+    apply_compile no_compile;
     apply_tracing trace_json metrics;
     let code =
     match read_program path with
@@ -325,7 +337,7 @@ let eval_cmd =
   let term =
     Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
           $ explain $ stratified $ solver_stats_arg $ jobs_arg $ no_interval_arg
-          $ trace_json_arg $ metrics_arg)
+          $ no_compile_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
@@ -334,10 +346,11 @@ let eval_cmd =
 let fuzz_cmd =
   let module H = Cql_gen.Harness in
   let module G = Cql_gen.Generate in
-  let run seed count mode inject_bug replay out solver_stats jobs no_interval trace_json
-      metrics =
+  let run seed count mode inject_bug replay out solver_stats jobs no_interval no_compile
+      trace_json metrics =
     apply_jobs jobs;
     apply_interval no_interval;
+    apply_compile no_compile;
     apply_tracing trace_json metrics;
     let code =
     match replay with
@@ -433,7 +446,7 @@ let fuzz_cmd =
   in
   let term =
     Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg
-          $ jobs_arg $ no_interval_arg $ trace_json_arg $ metrics_arg)
+          $ jobs_arg $ no_interval_arg $ no_compile_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -574,7 +587,7 @@ let merge_bench_file path key payload =
 
 let bench_serve_cmd =
   let module S = Cql_serve in
-  let run socket clients requests workers daemon daemon_trace out =
+  let run socket clients requests warmup workers daemon daemon_trace out =
     let socket =
       if socket = "" then
         Filename.concat (Filename.get_temp_dir_name ())
@@ -627,7 +640,7 @@ let bench_serve_cmd =
               true )
     in
     Printf.eprintf "bench serve: daemon %s, socket %s\n%!" daemon_desc socket;
-    match S.Loadgen.run ~socket ~clients ~requests_per_client:requests () with
+    match S.Loadgen.run ~socket ~clients ~requests_per_client:requests ~warmup () with
     | Error msg ->
         ignore (stop_daemon ());
         prerr_endline ("bench serve: " ^ msg);
@@ -641,6 +654,10 @@ let bench_serve_cmd =
         Printf.printf "p50=%.2fms p95=%.2fms p99=%.2fms mean=%.2fms max=%.2fms\n"
           r.S.Loadgen.p50_ms r.S.Loadgen.p95_ms r.S.Loadgen.p99_ms r.S.Loadgen.mean_ms
           r.S.Loadgen.max_ms;
+        if r.S.Loadgen.warmup_requests > 0 then
+          Printf.printf "warmup: requests=%d errors=%d p50=%.2fms max=%.2fms (excluded above)\n"
+            r.S.Loadgen.warmup_requests r.S.Loadgen.warmup_errors r.S.Loadgen.warmup_p50_ms
+            r.S.Loadgen.warmup_max_ms;
         Printf.printf "throughput=%.1f req/s over %.2fs; clean_daemon_exit=%b\n"
           r.S.Loadgen.throughput_rps r.S.Loadgen.wall_s clean;
         let payload =
@@ -669,6 +686,12 @@ let bench_serve_cmd =
   let requests =
     Arg.(value & opt int 25 & info [ "requests" ] ~docv:"M" ~doc:"Requests per client")
   in
+  let warmup =
+    Arg.(value & opt int 0 & info [ "warmup" ] ~docv:"N"
+           ~doc:"Warmup requests per client before measurement: absorbs the cold \
+                 plan-compile outliers, which are reported separately from the \
+                 steady-state percentiles")
+  in
   let workers =
     Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Daemon worker domains")
   in
@@ -686,7 +709,8 @@ let bench_serve_cmd =
            ~doc:"Benchmark results file to merge experiments.serve into")
   in
   let term =
-    Term.(const run $ socket $ clients $ requests $ workers $ daemon $ daemon_trace $ out)
+    Term.(const run $ socket $ clients $ requests $ warmup $ workers $ daemon $ daemon_trace
+          $ out)
   in
   Cmd.v
     (Cmd.info "serve"

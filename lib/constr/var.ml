@@ -1,4 +1,15 @@
-type t = { id : int; name : string }
+type t = { id : int; name : string; argi : int (* i for the canonical $i, else 0 *) }
+
+(* the argument index is decided by the name, so it is parsed once at
+   construction: [arg_index] sits on per-candidate paths of the evaluator
+   (fact pinning, subsumption environments) where re-parsing the name
+   string each call shows up in profiles *)
+let argi_of_name n =
+  if String.length n >= 2 && n.[0] = '$' then
+    match int_of_string_opt (String.sub n 1 (String.length n - 1)) with
+    | Some i when i >= 1 -> i
+    | _ -> 0
+  else 0
 
 let table : (string, t) Hashtbl.t = Hashtbl.create 64
 let lock = Mutex.create ()
@@ -13,7 +24,7 @@ let mk name =
     match Hashtbl.find_opt table name with
     | Some v -> v
     | None ->
-        let v = { id = Atomic.fetch_and_add counter 1 + 1; name } in
+        let v = { id = Atomic.fetch_and_add counter 1 + 1; name; argi = argi_of_name name } in
         Hashtbl.add table name v;
         v
   in
@@ -26,16 +37,19 @@ let mk name =
    fresh variables; primes keep the names parseable by the CQL lexer. *)
 let fresh base =
   let id = Atomic.fetch_and_add counter 1 + 1 in
-  { id; name = Printf.sprintf "%s'%d" base id }
+  let name = Printf.sprintf "%s'%d" base id in
+  { id; name; argi = argi_of_name name }
+
+(* [$1]..[$32] cover every predicate arity in practice; resolving them once
+   skips the sprintf + mutex + hashtable round-trip of [mk] on the head-
+   construction path of every derivation *)
+let arg_cache = Array.init 32 (fun i -> mk (Printf.sprintf "$%d" (i + 1)))
 
 let arg i =
   if i < 1 then invalid_arg "Var.arg: positions are 1-based";
-  mk (Printf.sprintf "$%d" i)
+  if i <= 32 then arg_cache.(i - 1) else mk (Printf.sprintf "$%d" i)
 
-let arg_index v =
-  let n = v.name in
-  if String.length n >= 2 && n.[0] = '$' then int_of_string_opt (String.sub n 1 (String.length n - 1))
-  else None
+let arg_index v = if v.argi >= 1 then Some v.argi else None
 
 let name v = v.name
 let id v = v.id

@@ -18,15 +18,23 @@ let rec resolve s (t : Term.t) =
       | None -> t
       | Some t' -> if Term.equal t t' then t else resolve s t')
 
-let apply_term s t = resolve s t
+(* The substitution primitives are written against an environment function
+   [lookup : Var.t -> Term.t] returning the fully-resolved binding of a
+   variable (the variable itself when unbound).  The map-based entry points
+   below are thin wrappers over [resolve]; the compiled execution engine
+   supplies a register-file lookup instead — both go through the exact same
+   code, so the two execution modes cannot drift apart. *)
 
-let apply_literal s (l : Literal.t) =
-  { l with Literal.args = List.map (apply_term s) l.Literal.args }
+let apply_term_env ~lookup (t : Term.t) =
+  match t with Term.C _ -> t | Term.V v -> lookup v
 
-let apply_linexpr s e =
+let apply_literal_env ~lookup (l : Literal.t) =
+  { l with Literal.args = List.map (apply_term_env ~lookup) l.Literal.args }
+
+let apply_linexpr_env ~lookup e =
   Var.Set.fold
     (fun v acc ->
-      match resolve s (Term.V v) with
+      match (lookup v : Term.t) with
       | Term.V v' -> if Var.equal v v' then acc else Linexpr.subst v (Linexpr.var v') acc
       | Term.C (Term.Num q) -> Linexpr.subst v (Linexpr.const q) acc
       | Term.C (Term.Sym sym) ->
@@ -42,17 +50,17 @@ let apply_linexpr s e =
    variables); with both sides symbolic it is decided by symbol identity.
    Any other mix of a symbol with arithmetic is unsatisfiable: a symbol
    never equals, or compares with, a number. *)
-let apply_atom s (a : Atom.t) : Atom.t list =
+let apply_atom_env ~lookup (a : Atom.t) : Atom.t list =
   let syms =
     Var.Set.fold
       (fun v acc ->
-        match resolve s (Term.V v) with
+        match (lookup v : Term.t) with
         | Term.C (Term.Sym sym) -> (v, sym) :: acc
         | _ -> acc)
       (Linexpr.vars a.Atom.expr) []
   in
   match syms with
-  | [] -> [ Atom.make (apply_linexpr s a.Atom.expr) a.Atom.op ]
+  | [] -> [ Atom.make (apply_linexpr_env ~lookup a.Atom.expr) a.Atom.op ]
   | [ (x, s1); (y, s2) ] when a.Atom.op = Atom.Eq ->
       let open Cql_num in
       let k = Linexpr.coeff x a.Atom.expr in
@@ -68,7 +76,15 @@ let apply_atom s (a : Atom.t) : Atom.t list =
       else [ Atom.ff ]
   | _ -> [ Atom.ff ]
 
-let apply_conj s c = Conj.of_list (List.concat_map (apply_atom s) (Conj.to_list c))
+let apply_conj_env ~lookup c =
+  Conj.of_list (List.concat_map (apply_atom_env ~lookup) (Conj.to_list c))
+
+let lookup_of s v = resolve s (Term.V v)
+
+let apply_term s t = resolve s t
+let apply_literal s l = apply_literal_env ~lookup:(lookup_of s) l
+let apply_linexpr s e = apply_linexpr_env ~lookup:(lookup_of s) e
+let apply_conj s c = apply_conj_env ~lookup:(lookup_of s) c
 
 (* union-find style flat unification: bind the representative var *)
 let unify_terms s t1 t2 =

@@ -22,6 +22,10 @@ val of_bindings : (Var.t * Term.t) list -> t
 
 val find : Var.t -> t -> Term.t option
 
+val resolve : t -> Term.t -> Term.t
+(** Chase a term through the substitution to its representative: a constant,
+    or the final unbound variable of the binding chain. *)
+
 val apply_term : t -> Term.t -> Term.t
 val apply_literal : t -> Literal.t -> Literal.t
 
@@ -31,9 +35,32 @@ val apply_linexpr : t -> Linexpr.t -> Linexpr.t
 val apply_conj : t -> Conj.t -> Conj.t
 (** @raise Type_error when a variable is bound to a symbolic constant. *)
 
+(** {2 Environment-based substitution}
+
+    The same substitution primitives over an abstract environment
+    [lookup : Var.t -> Term.t] that must return the {e fully-resolved}
+    binding of a variable (the variable itself when unbound).  The map-based
+    functions above are wrappers over these with [lookup = resolve]; the
+    compiled join-plan executor supplies a register-file lookup instead, so
+    both execution modes share one substitution semantics. *)
+
+val apply_term_env : lookup:(Var.t -> Term.t) -> Term.t -> Term.t
+val apply_literal_env : lookup:(Var.t -> Term.t) -> Literal.t -> Literal.t
+
+val apply_linexpr_env : lookup:(Var.t -> Term.t) -> Linexpr.t -> Linexpr.t
+(** @raise Type_error when a variable resolves to a symbolic constant. *)
+
+val apply_atom_env : lookup:(Var.t -> Term.t) -> Atom.t -> Atom.t list
+val apply_conj_env : lookup:(Var.t -> Term.t) -> Conj.t -> Conj.t
+(** @raise Type_error when a variable resolves to a symbolic constant. *)
+
 val unify : Literal.t -> Literal.t -> t option
 (** Most general unifier of two literals, or [None] when they do not unify
     (different predicate, arity, or clashing constants). *)
+
+val unify_terms : t -> Term.t -> Term.t -> t option
+(** Unify two terms under an existing substitution (both are resolved
+    first); the building block of {!unify_under}. *)
 
 val unify_under : t -> Literal.t -> Literal.t -> t option
 (** Extend an existing substitution. *)

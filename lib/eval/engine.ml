@@ -61,76 +61,19 @@ let all_ground r = StringMap.for_all (fun _ l -> List.for_all Fact.is_ground l) 
 
 (* ----- rule application ----- *)
 
-(* instantiate a stored fact as a literal: pinned numeric positions become
-   constants (so ground workloads never touch the solver), the rest become
-   fresh variables carrying the renamed residual constraints *)
-let fact_literal (f : Fact.t) : Literal.t * Conj.t =
-  let n = Fact.arity f in
-  let fresh = Array.make n None in
-  let args =
-    List.init n (fun i ->
-        match f.Fact.args.(i) with
-        | Fact.Psym s -> Term.sym s
-        | Fact.Pvar -> (
-            match f.Fact.pinned.(i) with
-            | Some q -> Term.num q
-            | None ->
-                let v = Var.fresh "F" in
-                fresh.(i) <- Some v;
-                Term.var v))
-  in
-  let residual =
-    if Array.for_all (fun o -> o = None) fresh then Conj.tt
-    else begin
-      (* substitute pinned values, rename the remaining canonical vars *)
-      let c =
-        Array.to_list f.Fact.pinned
-        |> List.mapi (fun i q -> (i, q))
-        |> List.fold_left
-             (fun c (i, q) ->
-               match q with
-               | Some q when f.Fact.args.(i) = Fact.Pvar ->
-                   Conj.subst (Var.arg (i + 1)) (Linexpr.const q) c
-               | _ -> c)
-             (Fact.cstr f)
-      in
-      let ren v =
-        match Var.arg_index v with
-        | Some i when i >= 1 && i <= n -> (
-            match fresh.(i - 1) with Some fv -> fv | None -> v)
-        | _ -> v
-      in
-      Conj.rename ren c
-    end
-  in
-  (Literal.make (Fact.pred f) args, residual)
+(* fact instantiation lives with the compiled executor (both paths share
+   it); kept under its old name for the interpreter code below *)
+let fact_literal = Compile.fact_literal
 
 (* finish one candidate derivation: apply the substitution, check
-   satisfiability, project onto the head fact *)
+   satisfiability, project onto the head fact.  The shared implementation
+   takes an environment; the interpreter's environment is a substitution
+   resolve, the compiled executor's a register read — one code path, so the
+   two modes cannot diverge. *)
 let derive_head (rule : Rule.t) theta body_cstr : Fact.t option =
-  try
-    let combined = Subst.apply_conj theta (Conj.and_ rule.Rule.cstr body_cstr) in
-    if not (Conj.is_sat combined) then None
-    else begin
-      (* build the head fact over canonical $i variables *)
-      let head = Subst.apply_literal theta rule.Rule.head in
-      let n = Literal.arity head in
-      let args = Array.make n Fact.Pvar in
-      let atoms = ref (Conj.to_list combined) in
-      List.iteri
-        (fun i t ->
-          let ai = Var.arg (i + 1) in
-          match t with
-          | Term.C (Term.Sym s) -> args.(i) <- Fact.Psym s
-          | Term.C (Term.Num q) ->
-              atoms := Atom.eq (Linexpr.var ai) (Linexpr.const q) :: !atoms
-          | Term.V v -> atoms := Atom.eq (Linexpr.var ai) (Linexpr.var v) :: !atoms)
-        head.Literal.args;
-      match Fact.make head.Literal.pred args (Conj.of_list !atoms) with
-      | f -> Some f
-      | exception Fact.Unsat -> None
-    end
-  with Subst.Type_error _ -> None (* symbolic constant met an arithmetic constraint *)
+  Compile.derive_head_env
+    ~lookup:(fun v -> Subst.resolve theta (Term.V v))
+    rule body_cstr
 
 (* one candidate derivation from explicitly chosen facts (used for fact
    rules and by tests) *)
@@ -160,6 +103,17 @@ type backend = {
   bk_known : Fact.t -> bool; (* is the fact subsumed by a stored one? *)
   bk_cands : Store.partition -> Subst.t -> Literal.t -> Fact.t list;
       (* candidate facts for a body literal, pre-filtered by matches_literal *)
+  bk_iter_cands :
+    Store.partition ->
+    pred:string ->
+    arity:int ->
+    int list ->
+    Term.const list ->
+    (Fact.t -> unit) ->
+    unit;
+      (* same candidates keyed directly on the resolved bound columns,
+         pushed to a callback without materializing a list or building the
+         resolved literal (the compiled executor) *)
   bk_advance : unit -> unit; (* iteration boundary *)
   bk_plan : seminaive:bool -> Rule.t -> Planner.plan list;
   bk_snapshot : unit -> Fact.t list StringMap.t; (* live facts, oldest first *)
@@ -179,6 +133,15 @@ let indexed_backend_of store =
            index more columns to key on *)
         let rlit = Subst.apply_literal theta lit in
         List.filter (fun f -> Fact.matches_literal rlit f) (Store.probe store part rlit));
+    bk_iter_cands =
+      (fun part ~pred ~arity positions key k ->
+        (* no [matches_literal] pre-filter: the compiled step's actions
+           perform exactly those checks (constants via [const_matches],
+           pins via unification), so candidates failing it die in
+           [Compile.apply_fact] — only the arity guard has no action
+           counterpart *)
+        Store.iter_probe_cols store part pred positions key (fun f ->
+            if Fact.arity f = arity then k f));
     bk_advance = (fun () -> Store.advance store);
     bk_plan = (fun ~seminaive r -> Planner.plans ~seminaive r);
     bk_snapshot =
@@ -212,6 +175,14 @@ let seed_backend () =
     | Store.Delta -> (!cur_iter - 1, !cur_iter - 1)
     | Store.Full -> (0, !cur_iter - 1)
   in
+  let cands part (lit : Literal.t) =
+    let min_iter, max_iter = range part in
+    List.filter_map
+      (fun (f, it) ->
+        if it >= min_iter && it <= max_iter && Fact.matches_literal lit f then Some f
+        else None)
+      (store_find lit.Literal.pred)
+  in
   {
     bk_add =
       (fun iter f ->
@@ -221,14 +192,16 @@ let seed_backend () =
         store := StringMap.add (Fact.pred f) ((f, iter) :: l) !store);
     bk_known =
       (fun f -> List.exists (fun (g, _) -> Fact.subsumes g f) (store_find (Fact.pred f)));
-    bk_cands =
-      (fun part _theta lit ->
+    bk_cands = (fun part _theta lit -> cands part lit);
+    bk_iter_cands =
+      (fun part ~pred ~arity _positions _key k ->
+        (* linear scan, no index to key; like the indexed backend, only the
+           arity guard is needed ahead of the compiled actions *)
         let min_iter, max_iter = range part in
-        List.filter_map
+        List.iter
           (fun (f, it) ->
-            if it >= min_iter && it <= max_iter && Fact.matches_literal lit f then Some f
-            else None)
-          (store_find lit.Literal.pred));
+            if it >= min_iter && it <= max_iter && Fact.arity f = arity then k f)
+          (store_find pred));
     bk_advance = (fun () -> incr cur_iter);
     bk_plan =
       (fun ~seminaive r ->
@@ -285,26 +258,37 @@ type task = {
   tk_rest : Planner.plan; (* plan minus the first step *)
   tk_step0 : Planner.step option; (* None for an empty plan *)
   tk_cands : Fact.t list; (* this task's slice of the first step's candidates *)
+  tk_code : Compile.code option; (* compiled program for the whole plan *)
 }
 
 let run_task bk (tk : task) =
   let out = ref [] in
-  let emit theta cstr used =
-    match derive_head tk.tk_rule theta cstr with
-    | None -> ()
-    | Some f -> out := (tk.tk_rule.Rule.label, f, used) :: !out
-  in
-  (match tk.tk_step0 with
-  | None -> choose_combos bk tk.tk_rest Subst.empty Conj.tt [] emit
-  | Some step0 ->
-      List.iter
-        (fun f ->
-          let flit, fcstr = fact_literal f in
-          match Subst.unify_under Subst.empty step0.Planner.lit flit with
-          | None -> ()
-          | Some theta ->
-              choose_combos bk tk.tk_rest theta fcstr [ (step0.Planner.orig, f) ] emit)
-        tk.tk_cands);
+  (match tk.tk_code with
+  | Some code -> (
+      let emit f used = out := (tk.tk_rule.Rule.label, f, used) :: !out in
+      match tk.tk_step0 with
+      | None -> Compile.exec code ~iter_cands:bk.bk_iter_cands ~emit
+      | Some _ ->
+          List.iter
+            (fun f -> Compile.exec_seeded code ~seed:f ~iter_cands:bk.bk_iter_cands ~emit)
+            tk.tk_cands)
+  | None -> (
+      let emit theta cstr used =
+        match derive_head tk.tk_rule theta cstr with
+        | None -> ()
+        | Some f -> out := (tk.tk_rule.Rule.label, f, used) :: !out
+      in
+      match tk.tk_step0 with
+      | None -> choose_combos bk tk.tk_rest Subst.empty Conj.tt [] emit
+      | Some step0 ->
+          List.iter
+            (fun f ->
+              let flit, fcstr = fact_literal f in
+              match Subst.unify_under Subst.empty step0.Planner.lit flit with
+              | None -> ()
+              | Some theta ->
+                  choose_combos bk tk.tk_rest theta fcstr [ (step0.Planner.orig, f) ] emit)
+            tk.tk_cands));
   (* forward (enumeration) order, ready for in-order concatenation *)
   List.rev !out
 
@@ -316,9 +300,12 @@ let tasks_of_iteration bk jobs rule_plans =
   List.iter
     (fun ((r : Rule.t), plans) ->
       List.iter
-        (fun plan ->
+        (fun (plan, code) ->
           match plan with
-          | [] -> tasks := { tk_rule = r; tk_rest = []; tk_step0 = None; tk_cands = [] } :: !tasks
+          | [] ->
+              tasks :=
+                { tk_rule = r; tk_rest = []; tk_step0 = None; tk_cands = []; tk_code = code }
+                :: !tasks
           | step0 :: rest ->
               let cands = bk.bk_cands step0.Planner.part Subst.empty step0.Planner.lit in
               let n = List.length cands in
@@ -338,7 +325,13 @@ let tasks_of_iteration bk jobs rule_plans =
                       in
                       let slice, rest' = take chunk [] cands in
                       tasks :=
-                        { tk_rule = r; tk_rest = rest; tk_step0 = Some step0; tk_cands = slice }
+                        {
+                          tk_rule = r;
+                          tk_rest = rest;
+                          tk_step0 = Some step0;
+                          tk_cands = slice;
+                          tk_code = code;
+                        }
                         :: !tasks;
                       cut rest'
                 in
@@ -360,11 +353,16 @@ let produce_round bk pool jobs rule_plans =
       List.iter
         (fun ((r : Rule.t), plans) ->
           List.iter
-            (fun plan ->
-              choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
-                  match derive_head r theta cstr with
-                  | None -> ()
-                  | Some f -> produced := (r.Rule.label, f, used) :: !produced))
+            (fun (plan, code) ->
+              match code with
+              | Some code ->
+                  Compile.exec code ~iter_cands:bk.bk_iter_cands ~emit:(fun f used ->
+                      produced := (r.Rule.label, f, used) :: !produced)
+              | None ->
+                  choose_combos bk plan Subst.empty Conj.tt [] (fun theta cstr used ->
+                      match derive_head r theta cstr with
+                      | None -> ()
+                      | Some f -> produced := (r.Rule.label, f, used) :: !produced))
             plans)
         rule_plans;
       List.rev !produced
@@ -383,8 +381,34 @@ let produce_round bk pool jobs rule_plans =
       in
       List.concat (Array.to_list outs)
 
+(* A precompiled plan set for one program: built once (e.g. by the plan
+   cache) and reused across runs so warm requests skip both planning and
+   compilation.  [cp_for] is compared physically — the artifact only applies
+   to the exact program value it was built from. *)
+type compiled = {
+  cp_for : Program.t;
+  cp_plans : (Rule.t * (Planner.plan * Compile.code option) list) list;
+}
+
+let ctr_cache_hits = Obs.counter "engine.compile.cache_hits"
+
+let compile_plans (p : Program.t) : compiled =
+  let _, body_rules = List.partition Rule.is_fact p.Program.rules in
+  {
+    cp_for = p;
+    cp_plans =
+      List.map
+        (fun (r : Rule.t) ->
+          ( r,
+            List.map
+              (fun pl ->
+                (pl, if !Compile.enabled then Some (Compile.compile r pl) else None))
+              (Planner.plans ~seminaive:true r) ))
+        body_rules;
+  }
+
 let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced = false)
-    (p : Program.t) ~(edb : Fact.t list) =
+    ?compiled (p : Program.t) ~(edb : Fact.t list) =
   Obs.span "engine.run" @@ fun () ->
   let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
   if Obs.enabled () then begin
@@ -436,8 +460,23 @@ let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced
             remember r.Rule.label f []
           end)
     fact_rules;
-  (* join plans are computed once per rule, not per iteration *)
-  let rule_plans = List.map (fun r -> (r, bk.bk_plan ~seminaive r)) body_rules in
+  (* join plans are computed once per rule, not per iteration — and, for the
+     indexed backend, compiled to register-frame programs (the seed backend
+     stays the pure reference interpreter).  A precompiled artifact for this
+     exact program skips both phases. *)
+  let compile_maybe r pl =
+    if indexed && !Compile.enabled then Some (Compile.compile r pl) else None
+  in
+  let rule_plans =
+    match compiled with
+    | Some cp when cp.cp_for == p && seminaive && indexed && !Compile.enabled ->
+        Obs.incr ctr_cache_hits;
+        cp.cp_plans
+    | _ ->
+        List.map
+          (fun r -> (r, List.map (fun pl -> (pl, compile_maybe r pl)) (bk.bk_plan ~seminaive r)))
+          body_rules
+  in
   let iterations = ref 0 in
   let fixpoint = ref false in
   let result () =
@@ -519,8 +558,9 @@ let run_loop ~seminaive ~indexed ?jobs ?max_iterations ?max_derivations ?(traced
       | Exit -> result ()
       | Budget_exhausted -> result ())
 
-let run ?(indexed = true) ?jobs ?max_iterations ?max_derivations ?traced p ~edb =
-  run_loop ~seminaive:true ~indexed ?jobs ?max_iterations ?max_derivations ?traced p ~edb
+let run ?(indexed = true) ?jobs ?max_iterations ?max_derivations ?traced ?compiled p ~edb =
+  run_loop ~seminaive:true ~indexed ?jobs ?max_iterations ?max_derivations ?traced ?compiled p
+    ~edb
 
 let run_naive ?(indexed = true) ?jobs ?max_iterations ?max_derivations p ~edb =
   run_loop ~seminaive:false ~indexed ?jobs ?max_iterations ?max_derivations ~traced:false p ~edb
@@ -651,7 +691,7 @@ type view = {
   vw_program : Program.t;
   vw_store : Store.t;
   vw_bk : backend;
-  vw_rule_plans : (Rule.t * Planner.plan list) list;
+  vw_rule_plans : (Rule.t * (Planner.plan * Compile.code option) list) list;
   vw_fact_rules : Rule.t list;
   vw_pool : Pool.t option;
   vw_jobs : int;
@@ -1030,19 +1070,34 @@ let retract ?max_iterations ?max_derivations vw facts =
   in
   finish_op vw ms ~op:"retract" ~batch:(List.length facts) ~complete
 
-let materialize ?jobs ?max_iterations ?max_derivations (p : Program.t) ~edb =
+let materialize ?jobs ?max_iterations ?max_derivations ?compiled (p : Program.t) ~edb =
   Obs.span "engine.maintain" @@ fun () ->
   Obs.add_field_str "op" "materialize";
   let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
   let store = Store.create () in
   let bk = indexed_backend_of store in
   let fact_rules, body_rules = List.partition Rule.is_fact p.Program.rules in
+  let rule_plans =
+    match compiled with
+    | Some cp when cp.cp_for == p && !Compile.enabled ->
+        Obs.incr ctr_cache_hits;
+        cp.cp_plans
+    | _ ->
+        List.map
+          (fun (r : Rule.t) ->
+            ( r,
+              List.map
+                (fun pl ->
+                  (pl, if !Compile.enabled then Some (Compile.compile r pl) else None))
+                (bk.bk_plan ~seminaive:true r) ))
+          body_rules
+  in
   let vw =
     {
       vw_program = p;
       vw_store = store;
       vw_bk = bk;
-      vw_rule_plans = List.map (fun r -> (r, bk.bk_plan ~seminaive:true r)) body_rules;
+      vw_rule_plans = rule_plans;
       vw_fact_rules = fact_rules;
       vw_pool = (if jobs > 1 then Some (Pool.create ~jobs) else None);
       vw_jobs = jobs;

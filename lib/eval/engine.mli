@@ -82,12 +82,26 @@ val provenance : result -> Fact.t -> (string * Fact.t list) option
     (["edb"] for database facts) and the facts its body literals used.
     [None] for facts never stored (e.g. subsumed on arrival). *)
 
+type compiled
+(** Precompiled register-frame programs for every (rule, pivot) plan of one
+    program (see {!Cql_eval.Compile}).  Built once with {!compile_plans} and
+    passed back to {!run}/{!materialize} so warm evaluations skip both
+    planning and compilation; applies only to the exact program value it was
+    built from (physical equality). *)
+
+val compile_plans : Program.t -> compiled
+(** Plan and compile every body rule of the program (semi-naive plans, as
+    {!run} uses).  With compilation disabled ([CQLOPT_NO_COMPILE] /
+    {!Compile.enabled}[ = false]) the artifact carries interpreter-only
+    plans, preserving the fallback. *)
+
 val run :
   ?indexed:bool ->
   ?jobs:int ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   ?traced:bool ->
+  ?compiled:compiled ->
   Program.t ->
   edb:Fact.t list ->
   result
@@ -95,6 +109,12 @@ val run :
     program's fact rules; subsequent iterations are delta-driven.
     [indexed] (default [true]) selects the indexed relation store and join
     planner; [~indexed:false] runs the seed list-based reference path.
+    With the indexed backend each (rule, pivot) plan is compiled once into
+    a register-frame program ({!Cql_eval.Compile}) — same derivations in
+    the same order, without the per-candidate substitution interpretation;
+    set [CQLOPT_NO_COMPILE=1] (or [--no-compile]) to force the interpreter.
+    [compiled] supplies a precompiled artifact for this exact program
+    (physical equality), skipping planning and compilation entirely.
     [jobs] (default {!default_jobs}) is the number of domains evaluating
     each iteration's match phase; results are identical for every value. *)
 
@@ -166,13 +186,15 @@ val materialize :
   ?jobs:int ->
   ?max_iterations:int ->
   ?max_derivations:int ->
+  ?compiled:compiled ->
   Program.t ->
   edb:Fact.t list ->
   view * maintain_stats
 (** Evaluate the program to fixpoint and return a live view.  The budgets
     become the view's per-operation defaults.  When truncated
     ([m_complete = false]) the view's contents are a sound under-
-    approximation and {!view_complete} turns false. *)
+    approximation and {!view_complete} turns false.  [compiled] as for
+    {!run}: a precompiled plan artifact for this exact program. *)
 
 val insert :
   ?max_iterations:int -> ?max_derivations:int -> view -> Fact.t list -> maintain_stats

@@ -11,7 +11,17 @@ module Decidable = Cql_core.Decidable
 module Adorn = Cql_core.Adorn
 module Gmt = Cql_core.Gmt
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update | Tier
+type oracle =
+  | Answers
+  | Indexing
+  | Solver
+  | Monotone
+  | Bound
+  | Cache
+  | Parallel
+  | Update
+  | Tier
+  | Compiled
 
 let oracle_name = function
   | Answers -> "answers"
@@ -23,6 +33,7 @@ let oracle_name = function
   | Parallel -> "parallel"
   | Update -> "update"
   | Tier -> "interval"
+  | Compiled -> "compiled"
 
 let oracle_of_name = function
   | "answers" -> Answers
@@ -34,6 +45,7 @@ let oracle_of_name = function
   | "parallel" -> Parallel
   | "update" -> Update
   | "interval" -> Tier
+  | "compiled" -> Compiled
   | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
 
 type update_op = Insert of F.t | Retract of F.t
@@ -217,6 +229,45 @@ let check_interval_differential ~max_iterations ~max_derivations ~max_iters st p
         None
       end
   | _ -> Some "constraint_rewrite applicability differs with the interval tier on vs off"
+
+(* ----- the compiled-execution differential (oracle 10) ----- *)
+
+(* Run the heaviest rewrite and an evaluation of its output with join-plan
+   compilation enabled (register-frame programs) and disabled (the
+   tuple-at-a-time substitution interpreter), each from a fresh cache state,
+   and require an alpha-equivalent rewritten program, identical sorted
+   answers, identical derivation counts and identical fixpoint status.
+   Compilation may only ever change how a join executes, never what it
+   derives. *)
+let check_compiled_differential ~max_iterations ~max_derivations ~max_iters st p edb =
+  let run_with on =
+    Compile.with_compile on (fun () ->
+        Memo.clear_all ();
+        match Rw.constraint_rewrite ~max_iters p with
+        | exception (Invalid_argument _ | Failure _) -> None
+        | p', _ ->
+            let res = Engine.run ~max_iterations ~max_derivations p' ~edb in
+            Some
+              ( p',
+                List.sort F.compare (Engine.answers res p'),
+                (Engine.stats res).Engine.derivations,
+                (Engine.stats res).Engine.reached_fixpoint ))
+  in
+  match (run_with true, run_with false) with
+  | None, None -> None
+  | Some (p1, a1, d1, f1), Some (p2, a2, d2, f2) ->
+      if not (Program.equal_mod_renaming p1 p2) then
+        Some "constraint_rewrite output differs with compilation on vs off"
+      else if d1 <> d2 then
+        Some
+          (Printf.sprintf "derivation counts differ (compiled: %d, interpreted: %d)" d1 d2)
+      else if f1 <> f2 || not (List.equal F.equal a1 a2) then
+        Some "evaluation answers differ between compiled and interpreted execution"
+      else begin
+        st.checks <- st.checks + 1;
+        None
+      end
+  | _ -> Some "constraint_rewrite applicability differs with compilation on vs off"
 
 (* ----- pipelines ----- *)
 
@@ -405,6 +456,11 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             with
             | Some detail -> fail Tier "constraint_rewrite" detail
             | None -> (
+            match
+              check_compiled_differential ~max_iterations ~max_derivations ~max_iters st p edb
+            with
+            | Some detail -> fail Compiled "eval" detail
+            | None -> (
             let orig_preds = Program.predicates p in
             let orig_facts pred = Engine.facts_of res0 pred in
             let answers0 = Engine.answers res0 p in
@@ -498,7 +554,7 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             | None -> (
                 match check_solver_pool st !solver_pool with
                 | Some detail -> fail Solver "solver" detail
-                | None -> None))))))
+                | None -> None)))))))
   end
 
 (* ----- shrinking ----- *)

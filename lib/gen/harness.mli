@@ -1,7 +1,7 @@
 (** Differential fuzzing harness: run generated (program, query, EDB) cases
     through every rewrite pipeline and check the equivalence oracles.
 
-    Nine oracles guard the paper's claims and the implementation:
+    Ten oracles guard the paper's claims and the implementation:
 
     + {b Answers} — query-answer equivalence: the rewritten program computes
       exactly the original's query answers (Theorems 4.7/4.8, 6.2, 7.10),
@@ -39,6 +39,13 @@
       sorted answers of its evaluation and the fixpoint status are identical
       with the tier enabled and disabled, each run starting from a fresh
       cache state (reported as ["interval"]).
+    + {b Compiled} — register-frame join-plan compilation
+      ({!Cql_eval.Compile}) never changes a result: the [constraint_rewrite]
+      output (mod renaming), the sorted answers of its evaluation, the
+      derivation count and the fixpoint status are identical with
+      compilation enabled and disabled (the tuple-at-a-time substitution
+      interpreter), each run starting from a fresh cache state (reported as
+      ["compiled"]).
 
     On failure the harness shrinks the case — dropping rules, EDB facts,
     update ops, body literals and constraint atoms while the failure
@@ -49,7 +56,17 @@
 open Cql_constr
 open Cql_datalog
 
-type oracle = Answers | Indexing | Solver | Monotone | Bound | Cache | Parallel | Update | Tier
+type oracle =
+  | Answers
+  | Indexing
+  | Solver
+  | Monotone
+  | Bound
+  | Cache
+  | Parallel
+  | Update
+  | Tier
+  | Compiled
 
 val oracle_name : oracle -> string
 

@@ -99,9 +99,43 @@ let mag_get_bit a i =
   let limb = i / base_bits and off = i mod base_bits in
   if limb >= Array.length a then 0 else (a.(limb) lsr off) land 1
 
+(* Magnitudes of at most two limbs fit a nonnegative 60-bit native int:
+   the workhorse fast path for division and gcd (almost every value the
+   evaluator touches is a small constant or a reduced fraction of one). *)
+let mag_small a =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some ((a.(1) lsl base_bits) lor a.(0))
+  | _ -> None
+
+let mag_of_small v =
+  if v = 0 then [||] else if v < base then [| v |] else [| v land mask; v lsr base_bits |]
+
+(* small ops: d must satisfy 0 < d < 2^31 *)
+let mag_divmod_small a d =
+  let n = Array.length a in
+  let q = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (mag_normalize q, !rem)
+
 (* Binary long division on magnitudes: returns (quotient, remainder). *)
-let mag_divmod a b =
+let rec mag_divmod a b =
   if mag_is_zero b then raise Division_by_zero;
+  match (mag_small a, mag_small b) with
+  | Some x, Some y -> (mag_of_small (x / y), mag_of_small (x mod y))
+  | _ ->
+      if Array.length b = 1 then
+        let q, r = mag_divmod_small a b.(0) in
+        (q, mag_of_small r)
+      else mag_divmod_large a b
+
+and mag_divmod_large a b =
   let cmp = mag_compare a b in
   if cmp < 0 then ([||], a)
   else if cmp = 0 then ([| 1 |], [||])
@@ -155,17 +189,6 @@ let mag_divmod a b =
     (mag_normalize q, mag_normalize (Array.sub r 0 (rlen + 1)))
   end
 
-(* small ops: d must satisfy 0 < d < 2^31 *)
-let mag_divmod_small a d =
-  let n = Array.length a in
-  let q = Array.make n 0 in
-  let rem = ref 0 in
-  for i = n - 1 downto 0 do
-    let cur = (!rem lsl base_bits) lor a.(i) in
-    q.(i) <- cur / d;
-    rem := cur mod d
-  done;
-  (mag_normalize q, !rem)
 
 let mag_mul_small_add a m add =
   let n = Array.length a in
@@ -216,27 +239,52 @@ let compare a b =
   else mag_compare b.mag a.mag
 
 let equal a b = compare a b = 0
-let is_one x = equal x one
+
+(* [is_one] guards the reduction in [Rat.make] on every arithmetic result,
+   so it must not pay for a generic magnitude comparison *)
+let is_one x = x.sign = 1 && Array.length x.mag = 1 && Stdlib.( = ) x.mag.(0) 1
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
 let hash x = Array.fold_left (fun h l -> (h * 1000003) lxor l) x.sign x.mag
 
+(* signed value from a native int with |v| < 2^60 *)
+let of_small_signed v =
+  if v = 0 then zero
+  else if v > 0 then { sign = 1; mag = mag_of_small v }
+  else { sign = -1; mag = mag_of_small (-v) }
+
+(* single-limb magnitude as a native int, for the add/mul fast paths below
+   (two-limb sums could carry past what [mag_of_small] represents) *)
+let mag_small1 a =
+  match Array.length a with 0 -> Some 0 | 1 -> Some a.(0) | _ -> None
+
 let add a b =
   if a.sign = 0 then b
   else if b.sign = 0 then a
-  else if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
   else
-    let c = mag_compare a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then { sign = a.sign; mag = mag_sub a.mag b.mag }
-    else { sign = b.sign; mag = mag_sub b.mag a.mag }
+    match (mag_small1 a.mag, mag_small1 b.mag) with
+    | Some x, Some y ->
+        (* |x|, |y| < 2^30: the signed sum is exact in a native int *)
+        of_small_signed ((a.sign * x) + (b.sign * y))
+    | _ ->
+        if a.sign = b.sign then { sign = a.sign; mag = mag_add a.mag b.mag }
+        else
+          let c = mag_compare a.mag b.mag in
+          if c = 0 then zero
+          else if c > 0 then { sign = a.sign; mag = mag_sub a.mag b.mag }
+          else { sign = b.sign; mag = mag_sub b.mag a.mag }
 
 let sub a b = add a (neg b)
 
 let mul a b =
   if a.sign = 0 || b.sign = 0 then zero
-  else { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
+  else
+    match (mag_small1 a.mag, mag_small1 b.mag) with
+    | Some x, Some y ->
+        (* x*y < 2^60 fits [mag_of_small] *)
+        { sign = a.sign * b.sign; mag = mag_of_small (x * y) }
+    | _ -> { sign = a.sign * b.sign; mag = mag_mul a.mag b.mag }
 
 let divmod a b =
   if b.sign = 0 then raise Division_by_zero;
@@ -246,7 +294,14 @@ let divmod a b =
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
-let rec gcd_mag a b = if mag_is_zero b then a else gcd_mag b (snd (mag_divmod a b))
+let rec gcd_small x y = if y = 0 then x else gcd_small y (x mod y)
+
+let rec gcd_mag a b =
+  if mag_is_zero b then a
+  else
+    match (mag_small a, mag_small b) with
+    | Some x, Some y -> mag_of_small (gcd_small x y)
+    | _ -> gcd_mag b (snd (mag_divmod a b))
 
 let gcd a b = make 1 (gcd_mag a.mag b.mag)
 

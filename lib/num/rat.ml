@@ -26,7 +26,12 @@ let sign x = B.sign x.num
 let is_zero x = B.is_zero x.num
 let is_integer x = B.is_one x.den
 
-let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+(* integers (den = 1) dominate evaluator arithmetic: comparing, adding and
+   multiplying them must not pay for cross-multiplication or reduction —
+   the canonical forms below are exactly what the general path produces *)
+let compare a b =
+  if B.is_one a.den && B.is_one b.den then B.compare a.num b.num
+  else B.compare (B.mul a.num b.den) (B.mul b.num a.den)
 let equal a b = B.equal a.num b.num && B.equal a.den b.den
 let hash x = (B.hash x.num * 65599) lxor B.hash x.den
 let min a b = if compare a b <= 0 then a else b
@@ -35,9 +40,15 @@ let max a b = if compare a b >= 0 then a else b
 let neg x = { x with num = B.neg x.num }
 let abs x = { x with num = B.abs x.num }
 
-let add a b = make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+let add a b =
+  if B.is_one a.den && B.is_one b.den then { num = B.add a.num b.num; den = B.one }
+  else make (B.add (B.mul a.num b.den) (B.mul b.num a.den)) (B.mul a.den b.den)
+
 let sub a b = add a (neg b)
-let mul a b = make (B.mul a.num b.num) (B.mul a.den b.den)
+
+let mul a b =
+  if B.is_one a.den && B.is_one b.den then { num = B.mul a.num b.num; den = B.one }
+  else make (B.mul a.num b.num) (B.mul a.den b.den)
 
 let inv x =
   if is_zero x then raise Division_by_zero;

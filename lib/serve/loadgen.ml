@@ -74,6 +74,11 @@ type result = {
   max_ms : float;
   wall_s : float;
   throughput_rps : float;
+  warmup_per_client : int;
+  warmup_requests : int;
+  warmup_errors : int;
+  warmup_p50_ms : float;
+  warmup_max_ms : float;
   workload_names : string list;
   server_stats : Json.t;
 }
@@ -102,18 +107,31 @@ type client_tally = {
   mutable c_hits : int;
   mutable c_match : bool;
   mutable c_lat_ns : int64 list;
+  mutable c_warm_errors : int;
+  mutable c_warm_ns : int64 list;
 }
 
-let drive_client ~socket ~requests ~workloads ~expected idx =
-  let tally = { c_ok = 0; c_errors = 0; c_hits = 0; c_match = true; c_lat_ns = [] } in
+let drive_client ~socket ~requests ~warmup ~workloads ~expected idx =
+  let tally =
+    {
+      c_ok = 0;
+      c_errors = 0;
+      c_hits = 0;
+      c_match = true;
+      c_lat_ns = [];
+      c_warm_errors = 0;
+      c_warm_ns = [];
+    }
+  in
   match Client.connect_retry socket with
   | Error _ ->
       tally.c_errors <- requests;
+      tally.c_warm_errors <- warmup;
       tally.c_match <- false;
       tally
   | Ok client ->
       let nw = Array.length workloads in
-      for i = 0 to requests - 1 do
+      let one i =
         let w = workloads.((idx + i) mod nw) in
         let t0 = Obs.monotonic_ns () in
         let resp =
@@ -121,6 +139,21 @@ let drive_client ~socket ~requests ~workloads ~expected idx =
             ~pipeline:w.pipeline ~program:w.program ()
         in
         let dt = Int64.sub (Obs.monotonic_ns ()) t0 in
+        (w, resp, dt)
+      in
+      (* warmup requests populate the plan cache; their latencies (cold
+         rewrite + join-compile outliers) are tallied separately so the
+         measured percentiles reflect the steady state *)
+      for i = 0 to warmup - 1 do
+        let _, resp, dt = one i in
+        tally.c_warm_ns <- dt :: tally.c_warm_ns;
+        match resp with
+        | Ok j when Client.is_ok j ->
+            if Client.answers j <> expected.((idx + i) mod nw) then tally.c_match <- false
+        | Ok _ | Error _ -> tally.c_warm_errors <- tally.c_warm_errors + 1
+      done;
+      for i = 0 to requests - 1 do
+        let _, resp, dt = one i in
         tally.c_lat_ns <- dt :: tally.c_lat_ns;
         match resp with
         | Ok j when Client.is_ok j ->
@@ -141,8 +174,9 @@ let percentile sorted p =
     let i = min (n - 1) (p * n / 100) in
     Int64.to_float sorted.(i) /. 1e6
 
-let run ~socket ~clients ~requests_per_client ?(workloads = default_workloads) () =
+let run ~socket ~clients ~requests_per_client ?(warmup = 0) ?(workloads = default_workloads) () =
   let clients = max 1 clients in
+  let warmup = max 0 warmup in
   let workloads = Array.of_list workloads in
   if Array.length workloads = 0 then invalid_arg "Loadgen.run: no workloads";
   let expected = Array.map oneshot_answers workloads in
@@ -160,7 +194,8 @@ let run ~socket ~clients ~requests_per_client ?(workloads = default_workloads) (
         let domains =
           List.init clients (fun idx ->
               Domain.spawn (fun () ->
-                  drive_client ~socket ~requests:requests_per_client ~workloads ~expected idx))
+                  drive_client ~socket ~requests:requests_per_client ~warmup ~workloads
+                    ~expected idx))
         in
         let tallies = List.map Domain.join domains in
         let wall_s = Int64.to_float (Int64.sub (Obs.monotonic_ns ()) t0) /. 1e9 in
@@ -172,6 +207,10 @@ let run ~socket ~clients ~requests_per_client ?(workloads = default_workloads) (
           List.concat_map (fun t -> t.c_lat_ns) tallies |> Array.of_list
         in
         Array.sort Int64.compare lats;
+        let warm_lats =
+          List.concat_map (fun t -> t.c_warm_ns) tallies |> Array.of_list
+        in
+        Array.sort Int64.compare warm_lats;
         let total = clients * requests_per_client in
         let sum = Array.fold_left (fun acc l -> Int64.add acc l) 0L lats in
         Ok
@@ -194,6 +233,13 @@ let run ~socket ~clients ~requests_per_client ?(workloads = default_workloads) (
                else Int64.to_float lats.(Array.length lats - 1) /. 1e6);
             wall_s;
             throughput_rps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+            warmup_per_client = warmup;
+            warmup_requests = clients * warmup;
+            warmup_errors = List.fold_left (fun acc t -> acc + t.c_warm_errors) 0 tallies;
+            warmup_p50_ms = percentile warm_lats 50;
+            warmup_max_ms =
+              (if Array.length warm_lats = 0 then 0.0
+               else Int64.to_float warm_lats.(Array.length warm_lats - 1) /. 1e6);
             workload_names = Array.to_list (Array.map (fun w -> w.name) workloads);
             server_stats = stats_json;
           }
@@ -216,6 +262,11 @@ let to_json r =
       ("max_ms", Json.Float r.max_ms);
       ("wall_seconds", Json.Float r.wall_s);
       ("throughput_rps", Json.Float r.throughput_rps);
+      ("warmup_per_client", Json.Int r.warmup_per_client);
+      ("warmup_requests", Json.Int r.warmup_requests);
+      ("warmup_errors", Json.Int r.warmup_errors);
+      ("warmup_p50_ms", Json.Float r.warmup_p50_ms);
+      ("warmup_max_ms", Json.Float r.warmup_max_ms);
       ("workloads", Json.List (List.map (fun n -> Json.Str n) r.workload_names));
       ("server_stats", r.server_stats);
     ]

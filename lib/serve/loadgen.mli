@@ -35,6 +35,13 @@ type result = {
   max_ms : float;
   wall_s : float;
   throughput_rps : float;
+  warmup_per_client : int;
+  warmup_requests : int;  (** clients × warmup (not in [total_requests]) *)
+  warmup_errors : int;
+  warmup_p50_ms : float;
+  warmup_max_ms : float;
+      (** warmup latencies carry the cold rewrite + join-compile cost;
+          they are excluded from the measured percentiles above *)
   workload_names : string list;
   server_stats : Json.t;  (** the server's [stats] response after the run *)
 }
@@ -43,13 +50,16 @@ val run :
   socket:string ->
   clients:int ->
   requests_per_client:int ->
+  ?warmup:int ->
   ?workloads:workload list ->
   unit ->
   (result, string) Stdlib.result
 (** Drive a server already listening on [socket].  Each client keeps one
     connection and issues its requests back to back; latency is measured
-    per request on the monotonic clock.  [Error] when no client could
-    connect. *)
+    per request on the monotonic clock.  [warmup] (default 0) extra
+    requests per client run first and are tallied separately — they absorb
+    the cold plan-compile outliers so p50/p95/p99 report the steady state.
+    [Error] when no client could connect. *)
 
 val to_json : result -> Json.t
 (** The [experiments.serve] payload. *)

@@ -4,6 +4,7 @@ module Obs = Cql_obs.Obs
 type plan = {
   pipeline : string;
   program : Program.t;
+  programs : Cql_eval.Engine.compiled;
   source_bytes : int;
   rewrite_ns : int64;
 }

@@ -23,6 +23,10 @@ open Cql_datalog
 type plan = {
   pipeline : string;  (** the pipeline actually applied *)
   program : Program.t;  (** rewritten, ready to evaluate *)
+  programs : Cql_eval.Engine.compiled;
+      (** register-frame programs for every (rule, pivot) join plan of
+          [program] — warm requests skip the join compile as well as the
+          rewrite (see {!Cql_eval.Engine.compile_plans}) *)
   source_bytes : int;
   rewrite_ns : int64;  (** wall time the rewrite cost on the miss *)
 }

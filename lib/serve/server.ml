@@ -77,6 +77,9 @@ let compiled_plan t ~pipeline ~source p =
             {
               Plan_cache.pipeline;
               program = prog;
+              (* join plans compile once here, at rewrite time: warm
+                 requests reuse the register-frame programs as well *)
+              programs = Engine.compile_plans prog;
               source_bytes = String.length source;
               rewrite_ns = Int64.sub (Obs.monotonic_ns ()) t0;
             }
@@ -118,8 +121,8 @@ let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_deriv
                   Obs.add_field_str "cache" (if cached then "hit" else "miss");
                   let t0 = Obs.monotonic_ns () in
                   match
-                    Engine.run ~jobs:1 ~max_iterations ~max_derivations plan.Plan_cache.program
-                      ~edb
+                    Engine.run ~jobs:1 ~max_iterations ~max_derivations
+                      ~compiled:plan.Plan_cache.programs plan.Plan_cache.program ~edb
                   with
                   | exception e -> err Protocol.Internal (Printexc.to_string e)
                   | res ->
@@ -217,7 +220,7 @@ let handle_materialize t ?id ~tenant ~view:name ~program ~edb ~pipeline ~max_ite
                   let t0 = Obs.monotonic_ns () in
                   match
                     Engine.materialize ~jobs:1 ~max_iterations ~max_derivations
-                      plan.Plan_cache.program ~edb
+                      ~compiled:plan.Plan_cache.programs plan.Plan_cache.program ~edb
                   with
                   | exception e -> err Protocol.Internal (Printexc.to_string e)
                   | vw, ms ->

@@ -53,6 +53,27 @@ let make pred args cstr =
   if not (Conj.is_sat c) then raise Unsat;
   { pred; args; cstr = c; pinned = compute_pinned args c }
 
+(* Ground fast path: every position is a symbol or a known numeric value.
+   [make] over the pin conjunction would return its canonicalization
+   unchanged — [project] keeps every variable (none falls outside [keep]),
+   [simplify] drops nothing (each pin binds a distinct [$i], so no atom is
+   implied by the others) and the conjunction is trivially satisfiable — so
+   the canonical representation is built directly, skipping the solver
+   memo lookups and the per-position pin extraction of [compute_pinned]. *)
+let of_consts pred (consts : Term.const array) =
+  let n = Array.length consts in
+  let args = Array.make n Pvar in
+  let pinned = Array.make n None in
+  let atoms = ref [] in
+  for i = 0 to n - 1 do
+    match consts.(i) with
+    | Term.Sym s -> args.(i) <- Psym s
+    | Term.Num q ->
+        pinned.(i) <- Some q;
+        atoms := Atom.eq (Linexpr.var (Var.arg (i + 1))) (Linexpr.const q) :: !atoms
+  done;
+  { pred; args; cstr = Conj.of_list !atoms; pinned }
+
 let ground pred consts =
   let args = Array.make (List.length consts) Pvar in
   let atoms = ref [] in

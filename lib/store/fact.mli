@@ -34,6 +34,12 @@ val make : string -> pos array -> Conj.t -> t
 val ground : string -> Term.const list -> t
 (** A ground fact from constants. *)
 
+val of_consts : string -> Term.const array -> t
+(** [ground] without the canonicalization round-trip: builds the pin
+    conjunction directly (on which {!make}'s projection and simplification
+    are provably the identity), so no solver memo is consulted.  The hot
+    constructor of the compiled executor's all-constant head path. *)
+
 val of_fact_rule : Rule.t -> t
 (** Convert a bodyless rule [p(t̄) :- C.] into a fact, e.g. parsed EDB
     clauses.

@@ -67,3 +67,14 @@ let plans ~seminaive (r : Rule.t) : plan list =
   let n = List.length r.Rule.body in
   if seminaive then List.init n (fun pivot -> order ~pivot r.Rule.body)
   else [ order ~pivot:(-1) r.Rule.body ]
+
+(* per-step binding metadata, for compiling a plan: which variables earlier
+   steps have bound when a step starts, and which the step binds first *)
+let step_bindings (p : plan) : (Var.Set.t * Var.Set.t) list =
+  let rec go bound = function
+    | [] -> []
+    | s :: rest ->
+        let vs = Literal.vars s.lit in
+        (bound, Var.Set.diff vs bound) :: go (Var.Set.union bound vs) rest
+  in
+  go Var.Set.empty p

@@ -28,3 +28,9 @@ val order : pivot:int -> Literal.t list -> plan
 val plans : seminaive:bool -> Rule.t -> plan list
 (** Every plan the engine needs for one rule: one per pivot when
     semi-naive, a single full-partition plan when naive. *)
+
+val step_bindings : plan -> (Cql_constr.Var.Set.t * Cql_constr.Var.Set.t) list
+(** Per step, in plan order: [(bound_before, newly_bound)] — the variables
+    bound by earlier steps when this step starts, and the ones this step
+    binds for the first time.  The input a plan compiler needs to turn each
+    argument into a constant check, a register check or a register bind. *)

@@ -134,6 +134,27 @@ let probe s part (lit : Literal.t) =
           st.facts_skipped <- st.facts_skipped + (Table.part_count t part - n);
           fs)
 
+(* iteration twin of [probe], keyed directly on resolved columns: same
+   candidates, same order, same stats accounting, no result list and no
+   literal to build — the compiled executor precomputes which positions can
+   be bound and hands over exactly what [bound_columns] would extract *)
+let iter_probe_cols s part pred positions key k =
+  let st = s.stats in
+  st.probes <- st.probes + 1;
+  match find_table s pred with
+  | None -> ()
+  | Some t -> (
+      match positions with
+      | [] ->
+          st.scans <- st.scans + 1;
+          let n = Table.iter_scan t part k in
+          st.scanned_facts <- st.scanned_facts + n
+      | _ ->
+          st.indexed_probes <- st.indexed_probes + 1;
+          let n = Table.iter_probe t part positions key k in
+          st.index_hits <- st.index_hits + n;
+          st.facts_skipped <- st.facts_skipped + (Table.part_count t part - n))
+
 let facts s pred = match find_table s pred with None -> [] | Some t -> Table.facts t
 
 let all_facts s =

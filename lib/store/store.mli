@@ -87,6 +87,15 @@ val probe : t -> partition -> Literal.t -> Fact.t list
     current substitution.  A sound over-approximation: callers still filter
     with {!Fact.matches_literal} and unification. *)
 
+val iter_probe_cols :
+  t -> partition -> string -> int list -> Term.const list -> (Fact.t -> unit) -> unit
+(** [iter_probe_cols s part pred positions key k]: like {!probe} on a
+    resolved literal of predicate [pred] whose bound columns are [positions]
+    (ascending) with constants [key], but pushes each candidate to the
+    callback (same facts, same order) without materializing a list; the
+    stats counters advance exactly as for {!probe}.  Empty [positions]
+    scans the partition.  The callback must not mutate the store. *)
+
 val facts : t -> string -> Fact.t list
 (** Live facts of a predicate, oldest first. *)
 

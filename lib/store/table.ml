@@ -314,6 +314,60 @@ let scan t part =
   | Delta -> live t.delta_cells
   | Full -> live t.delta_cells @ live t.old_cells
 
+(* Iteration twins of [probe]/[scan]: same candidates in the same order,
+   but pushed to a callback instead of materialized into a list, so the
+   compiled executor's inner loop allocates nothing per probe.  Both return
+   the number of live facts visited (the stats the list versions feed). *)
+
+let iter_probe_one t which positions key k =
+  let idx =
+    match which with
+    | `Old -> get_index t t.old_cells t.old_indexes positions
+    | `Delta -> get_index t t.delta_cells t.delta_indexes positions
+  in
+  let bucket, wild = Index.probe idx key in
+  let n = ref 0 in
+  let visit l =
+    List.iter
+      (fun c ->
+        if c.live then begin
+          incr n;
+          k c.fact
+        end)
+      l
+  in
+  visit bucket;
+  visit wild;
+  !n
+
+let iter_probe t part positions key k =
+  match part with
+  | Old -> iter_probe_one t `Old positions key k
+  | Delta -> iter_probe_one t `Delta positions key k
+  | Full ->
+      (* delta first, then old — matching [probe]'s concatenation order
+         (and OCaml's right-to-left [+] would visit them backwards) *)
+      let d = iter_probe_one t `Delta positions key k in
+      d + iter_probe_one t `Old positions key k
+
+let iter_scan t part k =
+  let visit l =
+    List.fold_left
+      (fun n c ->
+        if c.live then begin
+          k c.fact;
+          n + 1
+        end
+        else n)
+      0 l
+  in
+  match part with
+  | Old -> visit t.old_cells
+  | Delta -> visit t.delta_cells
+  | Full ->
+      let d = visit t.delta_cells in
+      d + visit t.old_cells
+
 (* ----- listing ----- *)
 
 let facts t =

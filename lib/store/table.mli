@@ -81,6 +81,15 @@ val probe : t -> partition -> int list -> Cql_datalog.Term.const list -> Fact.t 
 val scan : t -> partition -> Fact.t list
 (** All live facts of a partition, newest first. *)
 
+val iter_probe :
+  t -> partition -> int list -> Cql_datalog.Term.const list -> (Fact.t -> unit) -> int
+(** Like {!probe}, but pushes each candidate to the callback in the exact
+    order {!probe} would list them, allocating no result list.  Returns the
+    number of facts visited. *)
+
+val iter_scan : t -> partition -> (Fact.t -> unit) -> int
+(** Like {!scan}, pushed to a callback; returns the number of facts. *)
+
 val facts : t -> Fact.t list
 (** All live facts (any partition), oldest first. *)
 

@@ -493,6 +493,97 @@ let test_stratified_budget_jobs_agree () =
   check_int "budget 7 truncates the second stratum" 1
     (List.length (Engine.facts_of r1 "a"))
 
+(* ----- compiled register-frame execution vs the interpreter ----- *)
+
+let compiled_flights_src =
+  {|
+r1: cheap(S, D, C) :- flight(S, D, C), C <= 150.
+r2: flight(S, D, C) :- leg(S, D, C), C > 0.
+r3: flight(S, D, C) :- flight(S, M, C1), leg(M, D, C2), C = C1 + C2.
+#query cheap.
+|}
+
+(* acyclic leg network: the recursive flight rule reaches a fixpoint *)
+let compiled_flights_edb =
+  "leg(a, b, 40). leg(b, c, 70). leg(c, d, 90). leg(a, c, 130). leg(b, d, 60)."
+
+let compiled_cf_src = "r1: q(X, Y) :- p(X, Y), r(Y), X <= Y.\n#query q."
+let compiled_cf_edb = "p(X, Y; X >= 0, Y <= 5). p(2, 3). r(3). r(7)."
+
+let fingerprint res =
+  ( (Engine.stats res).Engine.derivations,
+    (Engine.stats res).Engine.iterations,
+    List.map
+      (fun (pred, fs) -> (pred, List.map Fact.to_string fs))
+      (List.sort compare (Engine.all_facts res)),
+    List.map
+      (fun (t : Engine.trace_entry) ->
+        (t.Engine.iteration, t.Engine.rule_label, Fact.to_string t.Engine.fact,
+         t.Engine.subsumed))
+      (Engine.trace res) )
+
+let test_compiled_matches_interpreter () =
+  List.iter
+    (fun (src, edb_src) ->
+      let p = parse src in
+      let edb = edb_of edb_src in
+      let fp on =
+        fingerprint
+          (Compile.with_compile on (fun () ->
+               Engine.run ~max_iterations:20 ~max_derivations:20_000 ~traced:true p ~edb))
+      in
+      check_bool "compiled == interpreted (facts, derivations, trace)" true (fp true = fp false))
+    [ (compiled_flights_src, compiled_flights_edb); (compiled_cf_src, compiled_cf_edb) ]
+
+let test_compiled_jobs_agree () =
+  let p = parse compiled_flights_src in
+  let edb = edb_of compiled_flights_edb in
+  let fp on jobs =
+    fingerprint
+      (Compile.with_compile on (fun () ->
+           Engine.run ~jobs ~max_iterations:20 ~max_derivations:20_000 p ~edb))
+  in
+  check_bool "compiled jobs=4 == interpreted jobs=1" true (fp true 4 = fp false 1);
+  check_bool "compiled jobs=4 == compiled jobs=1" true (fp true 4 = fp true 1)
+
+let test_compiled_counters () =
+  let module Obs = Cql_obs.Obs in
+  let programs = Obs.counter "engine.compile.programs_compiled" in
+  let before = Obs.value programs in
+  ignore
+    (Compile.with_compile true (fun () ->
+         Engine.run ~max_iterations:20 (parse compiled_flights_src)
+           ~edb:(edb_of compiled_flights_edb)));
+  check_bool "plans were compiled" true (Obs.value programs > before);
+  let before = Obs.value programs in
+  ignore
+    (Compile.with_compile false (fun () ->
+         Engine.run ~max_iterations:20 (parse compiled_flights_src)
+           ~edb:(edb_of compiled_flights_edb)));
+  check_int "disabled: nothing compiled" before (Obs.value programs)
+
+let test_compiled_artifact_reuse () =
+  (* force compilation on: artifact reuse is meaningless when disabled
+     (e.g. under CQLOPT_NO_COMPILE=1 the engine must bypass the artifact,
+     which is exactly why the hit below requires the toggle) *)
+  Compile.with_compile true (fun () ->
+      let module Obs = Cql_obs.Obs in
+      let hits = Obs.counter "engine.compile.cache_hits" in
+      let p = parse compiled_flights_src in
+      let edb = edb_of compiled_flights_edb in
+      let cp = Engine.compile_plans p in
+      let h0 = Obs.value hits in
+      let r1 = Engine.run ~max_iterations:20 ~compiled:cp p ~edb in
+      check_bool "artifact hit" true (Obs.value hits > h0);
+      let r2 = Engine.run ~max_iterations:20 p ~edb in
+      check_bool "precompiled == fresh compile" true (fingerprint r1 = fingerprint r2);
+      (* the artifact only applies to the exact program value it was built from *)
+      let p' = parse compiled_flights_src in
+      let h1 = Obs.value hits in
+      let r3 = Engine.run ~max_iterations:20 ~compiled:cp p' ~edb in
+      check_int "other program value: no hit" h1 (Obs.value hits);
+      check_bool "and still correct" true (fingerprint r3 = fingerprint r2))
+
 let () =
   Alcotest.run "eval"
     [
@@ -541,5 +632,12 @@ let () =
             test_budget_truncation_both_engines;
           Alcotest.test_case "semi-naive vs naive" `Quick test_seminaive_vs_naive;
           Alcotest.test_case "iteration counts" `Quick test_iteration_count;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "matches the interpreter" `Quick test_compiled_matches_interpreter;
+          Alcotest.test_case "jobs agree" `Quick test_compiled_jobs_agree;
+          Alcotest.test_case "compile counters" `Quick test_compiled_counters;
+          Alcotest.test_case "precompiled artifact reuse" `Quick test_compiled_artifact_reuse;
         ] );
     ]

@@ -170,9 +170,11 @@ let test_request_of_json () =
 (* ----- plan cache ----- *)
 
 let dummy_plan pipeline =
+  let program = Cql_datalog.Parser.program_of_string "p(1)." in
   {
     Plan_cache.pipeline;
-    program = Cql_datalog.Parser.program_of_string "p(1).";
+    program;
+    programs = Cql_eval.Engine.compile_plans program;
     source_bytes = 5;
     rewrite_ns = 0L;
   }

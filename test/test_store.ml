@@ -231,6 +231,57 @@ let test_planner_covers_pivots () =
     plans;
   check_int "naive is a single plan" 1 (List.length (Planner.plans ~seminaive:false r))
 
+let test_planner_empty_body () =
+  check_int "ordering an empty body" 0 (List.length (Planner.order ~pivot:(-1) []));
+  let r = rule_of "q(1)." in
+  (* a fact rule has no pivots, so semi-naive has no plans at all; the
+     naive path keeps its single (empty) plan *)
+  check_int "no semi-naive plans" 0 (List.length (Planner.plans ~seminaive:true r));
+  check_bool "one empty naive plan" true (Planner.plans ~seminaive:false r = [ [] ]);
+  check_int "no step bindings" 0 (List.length (Planner.step_bindings []))
+
+let test_planner_all_constants () =
+  let r = rule_of "q(X) :- f(X, c), e(a, b)." in
+  (* e is fully constant (2 bound, 0 free): most bound, so it leads even
+     from second position *)
+  let plan = Planner.order ~pivot:(-1) r.Rule.body in
+  Alcotest.(check (list string)) "fully-constant literal first" [ "e"; "f" ] (preds plan);
+  (* but a pivot always overrides bound-ness: the delta literal leads *)
+  let plan = Planner.order ~pivot:0 r.Rule.body in
+  Alcotest.(check (list string)) "pivot overrides constants" [ "f"; "e" ] (preds plan);
+  check_bool "pivot part" true ((List.hd plan).Planner.part = Store.Delta)
+
+let test_planner_single_literal () =
+  let r = rule_of "q(X) :- e(X, Y)." in
+  match Planner.plans ~seminaive:true r with
+  | [ [ st ] ] ->
+      check_int "the only literal is the pivot" 0 st.Planner.orig;
+      check_bool "and reads the delta" true (st.Planner.part = Store.Delta)
+  | _ -> Alcotest.fail "one single-step plan expected"
+
+let test_planner_tie_break () =
+  (* e, f, g all score (0 bound, 1 free) at the start: the first original
+     position wins the tie, deterministically *)
+  let r = rule_of "q(X, Y) :- e(X), f(Y), g(X)." in
+  let plan = Planner.order ~pivot:(-1) r.Rule.body in
+  (* e first (tie on original position); then X is bound, so g (1 bound,
+     0 free) beats f (0 bound, 1 free) *)
+  Alcotest.(check (list string)) "stable tie then bound-ness" [ "e"; "g"; "f" ] (preds plan);
+  (* repeated calls are stable *)
+  check_bool "deterministic" true
+    (preds (Planner.order ~pivot:(-1) r.Rule.body) = [ "e"; "g"; "f" ])
+
+let test_planner_step_bindings () =
+  let r = rule_of "q(X, Z) :- e(X, Y), f(Y, Z)." in
+  let plan = Planner.order ~pivot:0 r.Rule.body in
+  match Planner.step_bindings plan with
+  | [ (b0, n0); (b1, n1) ] ->
+      check_bool "nothing bound at step 0" true (Var.Set.is_empty b0);
+      check_int "step 0 binds X and Y" 2 (Var.Set.cardinal n0);
+      check_int "step 1 starts with X and Y bound" 2 (Var.Set.cardinal b1);
+      check_int "step 1 binds Z" 1 (Var.Set.cardinal n1)
+  | _ -> Alcotest.fail "two steps expected"
+
 (* ----- engine statistics through the indexed path ----- *)
 
 let flights_src =
@@ -416,6 +467,11 @@ let () =
           Alcotest.test_case "pivot first" `Quick test_planner_pivot_first;
           Alcotest.test_case "constants first" `Quick test_planner_constants_first;
           Alcotest.test_case "plans cover pivots" `Quick test_planner_covers_pivots;
+          Alcotest.test_case "empty body" `Quick test_planner_empty_body;
+          Alcotest.test_case "all-constant literals" `Quick test_planner_all_constants;
+          Alcotest.test_case "single-literal pivot" `Quick test_planner_single_literal;
+          Alcotest.test_case "tie-breaking stability" `Quick test_planner_tie_break;
+          Alcotest.test_case "step bindings" `Quick test_planner_step_bindings;
         ] );
       ( "engine",
         [
