@@ -26,6 +26,14 @@ let read_file path =
     Ok src
   with Sys_error msg -> Error msg
 
+(* a fact whose constraint is unsatisfiable in the current domain (e.g. one
+   pinning a fractional value under --domain int) denotes the empty
+   relation: drop it rather than crash *)
+let fact_opt r =
+  match Cql_eval.Fact.of_fact_rule r with
+  | f -> Some f
+  | exception Cql_eval.Fact.Unsat -> None
+
 let read_edb = function
   | None -> Ok []
   | Some path -> (
@@ -34,7 +42,7 @@ let read_edb = function
         let n = in_channel_length ic in
         let src = really_input_string ic n in
         close_in ic;
-        Ok (List.map Cql_eval.Fact.of_fact_rule (Parser.facts_of_string src))
+        Ok (List.filter_map fact_opt (Parser.facts_of_string src))
       with
       | Parser.Error msg -> Error (Printf.sprintf "%s: %s" path msg)
       | Sys_error msg -> Error msg)
@@ -63,6 +71,18 @@ let apply_jobs n =
   if n > 0 then Cql_eval.Engine.set_default_jobs n
   else if Sys.getenv_opt "CQLOPT_JOBS" = None then
     Cql_eval.Engine.set_default_jobs (Cql_par.Pool.recommended_jobs ())
+
+let domain_conv =
+  Arg.enum [ ("rat", Cql_constr.Cdomain.Q); ("int", Cql_constr.Cdomain.Z) ]
+
+let domain_arg =
+  Arg.(value & opt domain_conv Cql_constr.Cdomain.Q & info [ "domain" ] ~docv:"D"
+         ~doc:"Constraint domain: rat (the paper's rational setting, the default) \
+               or int (decide every constraint exactly over the integers: \
+               per-atom tightening, Omega-test elimination, branch-and-bound \
+               fallback)")
+
+let apply_domain d = Cql_constr.Cdomain.set_default d
 
 let no_interval_arg =
   Arg.(value & flag & info [ "no-interval" ]
@@ -176,8 +196,9 @@ let parse_steps adornment constraint_magic s =
     (String.split_on_char ',' s)
 
 let rewrite_cmd =
-  let run path steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
+  let run path domain steps adornment no_cmagic gmt optimal max_iters inline_seed simplify
       solver_stats jobs no_interval no_compile trace_json metrics =
+    apply_domain domain;
     apply_jobs jobs;
     apply_interval no_interval;
     apply_compile no_compile;
@@ -247,7 +268,7 @@ let rewrite_cmd =
            ~doc:"Post-pass: drop redundant constraint atoms and subsumed rules")
   in
   let term =
-    Term.(const run $ program_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
+    Term.(const run $ program_arg $ domain_arg $ steps $ adornment $ no_cmagic $ gmt $ optimal
           $ max_iters_arg $ inline_seed $ simplify $ solver_stats_arg $ jobs_arg
           $ no_interval_arg $ no_compile_arg $ trace_json_arg $ metrics_arg)
   in
@@ -256,8 +277,9 @@ let rewrite_cmd =
 (* ----- eval ----- *)
 
 let eval_cmd =
-  let run path edb_path max_iterations max_derivations traced naive explain stratified
+  let run path edb_path domain max_iterations max_derivations traced naive explain stratified
       solver_stats jobs no_interval no_compile trace_json metrics =
+    apply_domain domain;
     apply_jobs jobs;
     apply_interval no_interval;
     apply_compile no_compile;
@@ -335,9 +357,9 @@ let eval_cmd =
     Arg.(value & flag & info [ "stratified" ] ~doc:"Evaluate SCC by SCC (callees first)")
   in
   let term =
-    Term.(const run $ program_arg $ edb $ max_iterations $ max_derivations $ traced $ naive
-          $ explain $ stratified $ solver_stats_arg $ jobs_arg $ no_interval_arg
-          $ no_compile_arg $ trace_json_arg $ metrics_arg)
+    Term.(const run $ program_arg $ edb $ domain_arg $ max_iterations $ max_derivations
+          $ traced $ naive $ explain $ stratified $ solver_stats_arg $ jobs_arg
+          $ no_interval_arg $ no_compile_arg $ trace_json_arg $ metrics_arg)
   in
   Cmd.v (Cmd.info "eval" ~doc:"Bottom-up evaluation of a CQL program") term
 
@@ -346,8 +368,9 @@ let eval_cmd =
 let fuzz_cmd =
   let module H = Cql_gen.Harness in
   let module G = Cql_gen.Generate in
-  let run seed count mode inject_bug replay out solver_stats jobs no_interval no_compile
-      trace_json metrics =
+  let run seed count mode domain inject_bug replay out solver_stats jobs no_interval
+      no_compile trace_json metrics =
+    apply_domain domain;
     apply_jobs jobs;
     apply_interval no_interval;
     apply_compile no_compile;
@@ -366,7 +389,11 @@ let fuzz_cmd =
                 1
             | p, edb, updates -> (
                 let result =
-                  if updates = [] then H.replay p edb else H.replay_update p edb updates
+                  if updates = [] then
+                    (* --mode int replays the case under ℤ; other modes are
+                       inferred from the program *)
+                    H.replay ?mode:(if mode = "int" then Some G.Int else None) p edb
+                  else H.replay_update p edb updates
                 in
                 match result with
                 | None ->
@@ -410,7 +437,7 @@ let fuzz_cmd =
         | _ -> (
             match G.mode_of_string mode with
             | None ->
-                Printf.eprintf "unknown mode %S (use decidable, linear or update)\n" mode;
+                Printf.eprintf "unknown mode %S (use decidable, linear, int or update)\n" mode;
                 1
             | Some m ->
                 let config = G.default m in
@@ -427,8 +454,10 @@ let fuzz_cmd =
   in
   let mode =
     Arg.(value & opt string "decidable" & info [ "mode" ] ~docv:"MODE"
-           ~doc:"Constraint mode: decidable (Theorem 5.1 class), linear (full fragment) \
-                 or update (incremental view maintenance vs from-scratch re-evaluation)")
+           ~doc:"Constraint mode: decidable (Theorem 5.1 class), linear (full fragment), \
+                 int (integer domain: every oracle under Z plus the rational-relaxation \
+                 coverage oracle) or update (incremental view maintenance vs from-scratch \
+                 re-evaluation)")
   in
   let inject_bug =
     Arg.(value & flag & info [ "inject-bug" ]
@@ -445,8 +474,9 @@ let fuzz_cmd =
            ~doc:"Where to write the shrunk counterexample on failure")
   in
   let term =
-    Term.(const run $ seed $ count $ mode $ inject_bug $ replay $ out $ solver_stats_arg
-          $ jobs_arg $ no_interval_arg $ no_compile_arg $ trace_json_arg $ metrics_arg)
+    Term.(const run $ seed $ count $ mode $ domain_arg $ inject_bug $ replay $ out
+          $ solver_stats_arg $ jobs_arg $ no_interval_arg $ no_compile_arg $ trace_json_arg
+          $ metrics_arg)
   in
   Cmd.v
     (Cmd.info "fuzz"
@@ -461,7 +491,7 @@ let socket_arg =
 
 let client_cmd =
   let module S = Cql_serve in
-  let run socket path edb_path tenant pipeline max_iterations max_derivations op raw =
+  let run socket path edb_path tenant pipeline domain max_iterations max_derivations op raw =
     let fail msg =
       prerr_endline msg;
       1
@@ -505,7 +535,7 @@ let client_cmd =
                             | Error msg -> Error msg
                             | Ok edb ->
                                 let opt n = if n = 0 then None else Some n in
-                                S.Client.eval client ~tenant ~edb ~pipeline
+                                S.Client.eval client ~tenant ~edb ~pipeline ~domain
                                   ?max_iterations:(opt max_iterations)
                                   ?max_derivations:(opt max_derivations) ~program ())))
                 | other -> Error (Printf.sprintf "unknown op %S (use eval, ping, stats)" other)
@@ -529,6 +559,10 @@ let client_cmd =
     Arg.(value & opt string "pred,qrp" & info [ "pipeline" ] ~docv:"P"
            ~doc:"Server-side rewrite pipeline: none, pred,qrp or optimal")
   in
+  let domain =
+    Arg.(value & opt domain_conv Cql_constr.Cdomain.Q & info [ "domain" ] ~docv:"D"
+           ~doc:"Constraint domain to request: rat (default) or int")
+  in
   let max_iterations =
     Arg.(value & opt int 0 & info [ "max-iterations" ] ~docv:"N"
            ~doc:"Iteration budget to request (0 = server default)")
@@ -545,8 +579,8 @@ let client_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON response instead of answers")
   in
   let term =
-    Term.(const run $ socket_arg $ program $ edb $ tenant $ pipeline $ max_iterations
-          $ max_derivations $ op $ raw)
+    Term.(const run $ socket_arg $ program $ edb $ tenant $ pipeline $ domain
+          $ max_iterations $ max_derivations $ op $ raw)
   in
   Cmd.v
     (Cmd.info "client"
@@ -835,9 +869,217 @@ let bench_incremental_cmd =
              re-evaluation on the flights program")
     term
 
+(* ----- bench int ----- *)
+
+(* Two workloads whose constraints sit on the ℚ/ℤ boundary: meeting-slot
+   scheduling (strict windows plus a scaled duration bound, 2E - 2S >= 3,
+   that tightens to E - S >= 2 over the integers) and a flights variant
+   with a divisibility-constrained voucher (3V in [10, 14] pins V = 4 over
+   ℤ).  The integer-domain answers — of both the original program and its
+   pred,qrp rewrite — are verified point-by-point against brute-force
+   enumeration of the small integer grid; the rational run of the same
+   workload provides the timing baseline. *)
+let bench_int_cmd =
+  let module J = Cql_serve.Json in
+  let module Engine = Cql_eval.Engine in
+  let module Fact = Cql_eval.Fact in
+  let module Cdomain = Cql_constr.Cdomain in
+  let module Stats = Cql_constr.Solver_stats in
+  let module T = Cql_datalog.Term in
+  let scheduling_src =
+    "r1: slot(P1, P2, S, E) :- avail(P1, S, E), avail(P2, S, E).\n\
+     r2: avail(P, S, E) :- calendar(P, LO, HI), S >= LO, E <= HI, S < E.\n\
+     r3: good(P1, P2, S, E) :- slot(P1, P2, S, E), 2*E - 2*S >= 3, S <= 12.\n\
+     #query good.\n"
+  in
+  let calendar = [ ("alice", 9, 12); ("alice", 14, 18); ("bob", 10, 16); ("carol", 8, 10) ] in
+  let scheduling_edb =
+    String.concat "\n"
+      (List.map (fun (p, lo, hi) -> Printf.sprintf "calendar(%s, %d, %d)." p lo hi) calendar)
+  in
+  let scheduling_points =
+    let persons = [ "alice"; "bob"; "carol" ] in
+    let avail p s e =
+      List.exists (fun (p', lo, hi) -> p' = p && s >= lo && e <= hi && s < e) calendar
+    in
+    List.concat_map
+      (fun p1 ->
+        List.concat_map
+          (fun p2 ->
+            List.concat_map
+              (fun s ->
+                List.map
+                  (fun e ->
+                    let expected =
+                      avail p1 s e && avail p2 s e && (2 * e) - (2 * s) >= 3 && s <= 12
+                    in
+                    ( [ T.Sym p1; T.Sym p2; T.Num (Cql_num.Rat.of_int s);
+                        T.Num (Cql_num.Rat.of_int e) ],
+                      expected ))
+                  (List.init 11 (fun i -> 8 + i)))
+              (List.init 11 (fun i -> 8 + i)))
+          persons)
+      persons
+  in
+  let flights_src =
+    "r1: reach(S, D, C) :- leg(S, D, C).\n\
+     r2: reach(S, D, C) :- reach(S, M, C1), leg(M, D, C2), C = C1 + C2.\n\
+     r3: voucher(V) :- 3*V >= 10, 3*V <= 14.\n\
+     r4: deal(S, D, C, V) :- reach(S, D, C), voucher(V), C <= 5*V.\n\
+     #query deal.\n"
+  in
+  let leg_costs = [ 7; 6; 9; 8; 5 ] in
+  let city i = Printf.sprintf "c%d" i in
+  let flights_edb =
+    String.concat "\n"
+      (List.mapi (fun i c -> Printf.sprintf "leg(%s, %s, %d)." (city i) (city (i + 1)) c)
+         leg_costs)
+  in
+  let flights_points =
+    let n = List.length leg_costs in
+    let cost i j =
+      (* contiguous chain: the only reach(ci, cj) cost is the segment sum *)
+      List.fold_left ( + ) 0 (List.filteri (fun k _ -> k >= i && k < j) leg_costs)
+    in
+    let total = List.fold_left ( + ) 0 leg_costs in
+    List.concat_map
+      (fun i ->
+        List.concat_map
+          (fun j ->
+            if j <= i then []
+            else
+              List.concat_map
+                (fun c ->
+                  List.map
+                    (fun v ->
+                      let expected =
+                        c = cost i j && (3 * v) >= 10 && 3 * v <= 14 && c <= 5 * v
+                      in
+                      ( [ T.Sym (city i); T.Sym (city j);
+                          T.Num (Cql_num.Rat.of_int c); T.Num (Cql_num.Rat.of_int v) ],
+                        expected ))
+                    (List.init 7 (fun v -> v)))
+                (List.init (total + 2) (fun c -> c)))
+          (List.init (n + 1) (fun j -> j)))
+      (List.init (n + 1) (fun i -> i))
+  in
+  let run out =
+    let time f =
+      let t0 = Cql_obs.Obs.monotonic_ns () in
+      let r = f () in
+      (r, Int64.to_float (Int64.sub (Cql_obs.Obs.monotonic_ns ()) t0) /. 1e6)
+    in
+    let neutral f = Fact.make "x" f.Fact.args (Fact.cstr f) in
+    let run_workload (name, src, edb_src, points) =
+      let p = Parser.program_of_string src in
+      let edb = List.filter_map fact_opt (Parser.facts_of_string edb_src) in
+      let arity =
+        match p.Program.query with Some q -> Program.arity p q | None -> assert false
+      in
+      let run_domain d =
+        Cdomain.with_domain d @@ fun () ->
+        Cql_constr.Memo.clear_all ();
+        let p', rewrite_ms =
+          time (fun () -> fst (Rewrite.sequence ~max_iters:50 [ Rewrite.Pred; Rewrite.Qrp ] p))
+        in
+        let res, eval_ms = time (fun () -> Engine.run ~jobs:1 p ~edb) in
+        let res', eval_rw_ms = time (fun () -> Engine.run ~jobs:1 p' ~edb) in
+        let answers r pr = List.sort Fact.compare (Engine.answers r pr) in
+        (answers res p, answers res' p', rewrite_ms, eval_ms, eval_rw_ms,
+         Engine.total_facts res')
+      in
+      let qa, qa_rw, q_rw_ms, q_ev_ms, q_evrw_ms, q_facts = run_domain Cdomain.Q in
+      Stats.reset ();
+      let za, za_rw, z_rw_ms, z_ev_ms, z_evrw_ms, z_facts = run_domain Cdomain.Z in
+      let st = Stats.snapshot () in
+      (* brute-force verification: membership of every integer grid point in
+         the ℤ answers — original and rewritten — must match the enumerated
+         expectation exactly (both verdict directions) *)
+      let check answers =
+        Cdomain.with_domain Cdomain.Z @@ fun () ->
+        let nanswers =
+          List.filter_map
+            (fun f -> if Fact.arity f = arity then Some (neutral f) else None)
+            answers
+        in
+        List.filter
+          (fun (args, expected) ->
+            let g = Fact.ground "x" args in
+            List.exists (fun f -> Fact.subsumes f g) nanswers <> expected)
+          points
+      in
+      let bad = check za and bad_rw = check za_rw in
+      let ok = bad = [] && bad_rw = [] in
+      Printf.printf
+        "%s: grid=%d expected=%d bruteforce_match=%b (orig bad=%d, rewritten bad=%d)\n" name
+        (List.length points)
+        (List.length (List.filter snd points))
+        ok (List.length bad) (List.length bad_rw);
+      Printf.printf
+        "  rat: rewrite=%.2fms eval=%.2fms eval(rw)=%.2fms answers=%d facts=%d\n" q_rw_ms
+        q_ev_ms q_evrw_ms (List.length qa) q_facts;
+      Printf.printf
+        "  int: rewrite=%.2fms eval=%.2fms eval(rw)=%.2fms answers=%d facts=%d\n" z_rw_ms
+        z_ev_ms z_evrw_ms (List.length za) z_facts;
+      ignore qa_rw;
+      let payload =
+        J.Obj
+          [
+            ("grid_points", J.Int (List.length points));
+            ("expected_points", J.Int (List.length (List.filter snd points)));
+            ("bruteforce_match", J.Bool ok);
+            ( "rat",
+              J.Obj
+                [
+                  ("rewrite_ms", J.Float q_rw_ms);
+                  ("eval_ms", J.Float q_ev_ms);
+                  ("eval_rewritten_ms", J.Float q_evrw_ms);
+                  ("answers", J.Int (List.length qa));
+                  ("facts", J.Int q_facts);
+                ] );
+            ( "int",
+              J.Obj
+                [
+                  ("rewrite_ms", J.Float z_rw_ms);
+                  ("eval_ms", J.Float z_ev_ms);
+                  ("eval_rewritten_ms", J.Float z_evrw_ms);
+                  ("answers", J.Int (List.length za));
+                  ("facts", J.Int z_facts);
+                  ("sat_checks", J.Int st.Stats.int_sat_checks);
+                  ("tightened_atoms", J.Int st.Stats.int_tightened_atoms);
+                  ("omega_eliminations", J.Int st.Stats.int_omega_eliminations);
+                  ("splinters", J.Int st.Stats.int_splinters);
+                  ("bb_fallbacks", J.Int st.Stats.int_bb_fallbacks);
+                  ("bb_nodes", J.Int st.Stats.int_bb_nodes);
+                ] );
+          ]
+      in
+      (ok, payload)
+    in
+    let sched_ok, sched = run_workload ("scheduling", scheduling_src, scheduling_edb,
+                                        scheduling_points) in
+    let fl_ok, fl =
+      run_workload ("integer-flights", flights_src, flights_edb, flights_points)
+    in
+    merge_bench_file out "int"
+      (J.Obj [ ("scheduling", sched); ("integer_flights", fl) ]);
+    Printf.printf "merged experiments.int into %s\n" out;
+    if sched_ok && fl_ok then 0 else 1
+  in
+  let out =
+    Arg.(value & opt string "BENCH_results.json" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Benchmark results file to merge experiments.int into")
+  in
+  let term = Term.(const run $ out) in
+  Cmd.v
+    (Cmd.info "int"
+       ~doc:"Integer-domain benchmark: scheduling and flights workloads under --domain int, \
+             verified against brute-force small-domain enumeration")
+    term
+
 let bench_cmd =
   Cmd.group (Cmd.info "bench" ~doc:"Service benchmarks")
-    [ bench_serve_cmd; bench_incremental_cmd ]
+    [ bench_serve_cmd; bench_incremental_cmd; bench_int_cmd ]
 
 let () =
   let doc = "Pushing constraint selections: CQL program optimizer (Srivastava & Ramakrishnan)" in

@@ -89,6 +89,22 @@ let implies_atom_memo : (int * int, bool) Memo.cache = Memo.create ~name:"conj_i
 let implies_memo : (int * int, bool) Memo.cache = Memo.create ~name:"conj_implies"
 let project_memo : (int * int list, t) Memo.cache = Memo.create ~name:"conj_project"
 let simplify_memo : (int, t) Memo.cache = Memo.create ~name:"conj_simplify"
+let ztighten_memo : (int, t) Memo.cache = Memo.create ~name:"conj_ztighten"
+
+(* Verdicts differ between the rational and the integer domain ([2·X = 1]
+   is Q-sat, Z-unsat), so every memo key carries the active domain in its
+   low bit.  Ids stay well under 62 bits, the shift never overflows. *)
+let dkey id = (id lsl 1) lor Cdomain.tag ()
+
+(* The integer-tightened form of a conjunction: equivalent over ℤ,
+   generally strictly stronger over ℚ.  Tightening is per-atom and
+   domain-independent as a rewrite, so the cache key is the plain id. *)
+let ztighten (c : t) : t =
+  if c == tt || is_ff_syntactic c then c
+  else
+    Memo.cached ztighten_memo c.id (fun () ->
+        let atoms' = List.map Zsolve.tighten_atom c.atoms in
+        if List.for_all2 ( == ) atoms' c.atoms then c else of_list atoms')
 
 (* ----- variable elimination ----- *)
 
@@ -137,6 +153,13 @@ let eliminate x (c : t) : t =
                     Atom.make (Linexpr.sub lo_e up_e) op)
                   uppers)
               lowers
+          in
+          (* Over ℤ the real shadow is an over-approximation either way, but
+             the surviving variables are integer-valued, so rounding each
+             combined atom's constant through its coefficient gcd is sound
+             and strictly tightens the projection. *)
+          let combined =
+            if Cdomain.is_z () then List.map Zsolve.tighten_atom combined else combined
           in
           of_list (rest @ combined)
 
@@ -191,7 +214,7 @@ let project ~keep (c : t) : t =
     if Var.Set.subset cvars keep then c
     else
       (* the result depends only on keep ∩ vars c, so canonicalize the key *)
-      let key = (c.id, List.map Var.id (Var.Set.elements (Var.Set.inter keep cvars))) in
+      let key = (dkey c.id, List.map Var.id (Var.Set.elements (Var.Set.inter keep cvars))) in
       Memo.cached project_memo key (fun () -> project_uncached ~keep c)
 
 (* satisfiability via the simplex backend (cross-checked against full
@@ -204,28 +227,39 @@ let is_sat c =
   if is_ff_syntactic c then false
   else if c == tt then true
   else
-    Memo.cached sat_memo c.id (fun () ->
-        let exact () =
-          try Simplex.is_sat c.atoms
-          with Simplex.Pivot_limit _ ->
-            Solver_stats.count_pivot_limit ();
-            not (is_ff_syntactic (project_uncached ~keep:Var.Set.empty c))
-        in
-        if not !Interval.enabled then exact ()
-        else
-          (* abstract tier ahead of simplex: interval verdicts equal the
-             exact answer, so a hit skips the exact procedures; either way
-             the boolean lands in the memo, so warm repeats are lookups *)
-          match Interval.sat ~id:c.id c.atoms with
-          | Interval.False ->
-              Solver_stats.count_interval_sat_hit ();
-              false
-          | Interval.True ->
-              Solver_stats.count_interval_sat_hit ();
-              true
-          | Interval.Unknown ->
-              Solver_stats.count_interval_bail ();
-              exact ())
+    let z = Cdomain.is_z () in
+    (* in integer mode the whole query runs on the tightened form: the
+       rewrite is an equivalence over ℤ and sharpens every later tier
+       (tightening alone refutes parity-infeasible equalities) *)
+    let c = if z then ztighten c else c in
+    if is_ff_syntactic c then false
+    else if c == tt then true
+    else
+      Memo.cached sat_memo (dkey c.id) (fun () ->
+          let exact () =
+            if z then Zsolve.is_sat c.atoms
+            else
+              try Simplex.is_sat c.atoms
+              with Simplex.Pivot_limit _ ->
+                Solver_stats.count_pivot_limit ();
+                not (is_ff_syntactic (project_uncached ~keep:Var.Set.empty c))
+          in
+          if not !Interval.enabled then exact ()
+          else
+            (* abstract tier ahead of the exact backend: interval verdicts
+               equal the exact answer (integer-rounded boxes in Z mode), so
+               a hit skips the exact procedures; either way the boolean
+               lands in the memo, so warm repeats are lookups *)
+            match Interval.sat ~id:c.id c.atoms with
+            | Interval.False ->
+                Solver_stats.count_interval_sat_hit ();
+                false
+            | Interval.True ->
+                Solver_stats.count_interval_sat_hit ();
+                true
+            | Interval.Unknown ->
+                Solver_stats.count_interval_bail ();
+                exact ())
 
 let eval_at env c =
   let rec go = function
@@ -247,7 +281,7 @@ let implies_atom c a =
     | None ->
         if List.memq a c.atoms then true (* syntactic subset fast path *)
         else
-          Memo.cached implies_atom_memo (c.id, Atom.id a) (fun () ->
+          Memo.cached implies_atom_memo (dkey c.id, Atom.id a) (fun () ->
               let exact () =
                 List.for_all (fun na -> not (is_sat (add na c))) (Atom.negate a)
               in
@@ -269,7 +303,7 @@ let implies c d =
   if c == d || d == tt then true
   else if is_ff_syntactic c then true
   else
-    Memo.cached implies_memo (c.id, d.id) (fun () ->
+    Memo.cached implies_memo (dkey c.id, d.id) (fun () ->
         if
           !Interval.enabled
           && Interval.implies ~id:c.id c.atoms d.atoms = Interval.True
@@ -286,7 +320,12 @@ let equiv c d = implies c d && implies d c
 let simplify c =
   if c == tt || is_ff_syntactic c then c
   else
-    Memo.cached simplify_memo c.id (fun () ->
+    (* integer mode simplifies the tightened form: equivalent over ℤ, and
+       the closed bounds give the redundancy checks more to work with *)
+    let c = if Cdomain.is_z () then ztighten c else c in
+    if c == tt || is_ff_syntactic c then c
+    else
+    Memo.cached simplify_memo (dkey c.id) (fun () ->
         if not (is_sat c) then ff
         else
           (* drop atoms implied by the remaining ones; iterate front to back *)

@@ -54,7 +54,18 @@ val hash : t -> int
 (** {1 Decision procedures} *)
 
 val is_sat : t -> bool
-(** Exact satisfiability over the reals. *)
+(** Exact satisfiability over the active {!Cdomain}: over the reals
+    (simplex, Fourier–Motzkin fallback) when it is {!Cdomain.Q}, over the
+    integers ({!ztighten}, then {!Zsolve}) when it is {!Cdomain.Z}.  Memo
+    entries are keyed by domain, so flipping the domain never serves a
+    stale verdict. *)
+
+val ztighten : t -> t
+(** The integer-tightened form: every atom run through
+    {!Zsolve.tighten_atom}.  Equivalent over ℤ, generally strictly
+    stronger over ℚ; the identity on conjunctions with nothing to
+    tighten.  Used by the Z branch of the decision procedures and exposed
+    for the tier-transparency property tests. *)
 
 val project : keep:Var.Set.t -> t -> t
 (** [project ~keep c] is the strongest conjunction over [keep] implied by

@@ -71,7 +71,9 @@ let conj_implies d (cs : t) =
     | [ e ] -> Conj.implies d e
     | _ ->
         Memo.cached conj_implies_memo
-          (Conj.id d, List.map Conj.id cs)
+          (* same low-bit domain tag as the Conj caches: the residue is
+             emptiness-checked over the active domain *)
+          ((Conj.id d lsl 1) lor Cdomain.tag (), List.map Conj.id cs)
           (fun () ->
             if List.for_all (interval_disjoint d) cs then begin
               (* d is satisfiable yet box-disjoint from every disjunct, so

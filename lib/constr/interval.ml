@@ -122,11 +122,27 @@ let entails env (a : Atom.t) =
 
 (* ----- bound propagation ----- *)
 
+(* In integer mode every candidate bound rounds to a closed integer
+   endpoint: non-integral values floor/ceil inward, integral-but-strict
+   bounds step by one.  The rounded box still contains every integer
+   solution (rounding only discards fractional points), and a nonempty box
+   whose finite sides are all closed integers always contains an integer
+   point — so both False and True verdicts stay exact over ℤ. *)
+let zround_hi (b : bnd) =
+  if Rat.is_integer b.v then
+    if b.strict then { v = Rat.sub b.v Rat.one; strict = false } else b
+  else { v = Rat.of_bigint (Zsolve.floor_rat b.v); strict = false }
+
+let zround_lo (b : bnd) =
+  if Rat.is_integer b.v then
+    if b.strict then { v = Rat.add b.v Rat.one; strict = false } else b
+  else { v = Rat.of_bigint (Zsolve.ceil_rat b.v); strict = false }
+
 (* one-unknown propagation of [e ⋈ 0] (⋈ strict or not): for each term
    c·x, the rest of the expression has lower bound L over the box, so
    c·x ≤ -L (strict when the atom or L is), i.e. x gains an upper bound
    for c > 0 and a lower bound for c < 0 *)
-let propagate_ineq ~strict e (env, changed) =
+let propagate_ineq ~z ~strict e (env, changed) =
   List.fold_left
     (fun (env, changed) (x, c) ->
       match bound_expr ~upper:false ~except:x env e with
@@ -137,31 +153,34 @@ let propagate_ineq ~strict e (env, changed) =
             else if Rat.equal c Rat.minus_one then l.v
             else Rat.div (Rat.neg l.v) c
           in
-          let cand = Some { v; strict = strict || l.strict } in
+          let upper = Rat.sign c > 0 in
+          let cand = { v; strict = strict || l.strict } in
+          let cand = Some (if z then (if upper then zround_hi cand else zround_lo cand) else cand) in
           let old = find env x in
           let tightened =
-            if Rat.sign c > 0 then { old with hi = min_hi old.hi cand }
+            if upper then { old with hi = min_hi old.hi cand }
             else { old with lo = max_lo old.lo cand }
           in
           if itv_eq tightened old then (env, changed)
           else (Var.Map.add x tightened env, true))
     (env, changed) (Linexpr.terms e)
 
-let propagate_atom acc (a : Atom.t) =
+let propagate_atom ~z acc (a : Atom.t) =
   match a.Atom.op with
-  | Atom.Le -> propagate_ineq ~strict:false a.Atom.expr acc
-  | Atom.Lt -> propagate_ineq ~strict:true a.Atom.expr acc
+  | Atom.Le -> propagate_ineq ~z ~strict:false a.Atom.expr acc
+  | Atom.Lt -> propagate_ineq ~z ~strict:true a.Atom.expr acc
   | Atom.Eq ->
       (* e = 0 propagates as e ≤ 0 and -e ≤ 0 *)
       acc
-      |> propagate_ineq ~strict:false a.Atom.expr
-      |> propagate_ineq ~strict:false (Linexpr.neg a.Atom.expr)
+      |> propagate_ineq ~z ~strict:false a.Atom.expr
+      |> propagate_ineq ~z ~strict:false (Linexpr.neg a.Atom.expr)
 
 (* a small pass cap: each pass only tightens, so stopping early loses
    precision (more Unknowns), never soundness *)
 let max_passes = 4
 
 let build ?(init = Var.Map.empty) atoms =
+  let z = Cdomain.is_z () in
   (* bounds only flow between variables through multi-term atoms; without
      any, the first pass (direct bounds) is already the fixpoint *)
   let multi =
@@ -171,7 +190,7 @@ let build ?(init = Var.Map.empty) atoms =
       atoms
   in
   let rec go env pass =
-    let env, changed = List.fold_left propagate_atom (env, false) atoms in
+    let env, changed = List.fold_left (propagate_atom ~z) (env, false) atoms in
     if env_is_empty env then env (* already conclusive *)
     else if multi && changed && pass < max_passes then go env (pass + 1)
     else env
@@ -182,8 +201,10 @@ let build ?(init = Var.Map.empty) atoms =
 
 let env_memo : (int, env) Memo.cache = Memo.create ~name:"interval_env"
 
+(* integer-mode boxes are rounded differently, so the domain tag rides in
+   the cache key's low bit — same discipline as the Conj memo tables *)
 let env_of ~id atoms =
-  Memo.cached env_memo id (fun () ->
+  Memo.cached env_memo ((id lsl 1) lor Cdomain.tag ()) (fun () ->
       Solver_stats.count_interval_env_build ();
       build atoms)
 

@@ -21,6 +21,12 @@ let interval_sat_hits = Obs.counter "solver.interval.sat_hits"
 let interval_implies_hits = Obs.counter "solver.interval.implies_hits"
 let interval_disjoint_hits = Obs.counter "solver.interval.disjoint_hits"
 let interval_bails = Obs.counter "solver.interval.bails"
+let int_sat_checks = Obs.counter "solver.int.sat_checks"
+let int_tightened_atoms = Obs.counter "solver.int.tightened_atoms"
+let int_omega_eliminations = Obs.counter "solver.int.omega_eliminations"
+let int_splinters = Obs.counter "solver.int.splinters"
+let int_bb_fallbacks = Obs.counter "solver.int.bb_fallbacks"
+let int_bb_nodes = Obs.counter "solver.int.bb_nodes"
 
 let count_sat_check () = Obs.incr sat_checks
 let count_implies_check () = Obs.incr implies_checks
@@ -36,6 +42,12 @@ let count_interval_sat_hit () = Obs.incr interval_sat_hits
 let count_interval_implies_hit () = Obs.incr interval_implies_hits
 let count_interval_disjoint_hit () = Obs.incr interval_disjoint_hits
 let count_interval_bail () = Obs.incr interval_bails
+let count_int_sat_check () = Obs.incr int_sat_checks
+let count_int_tightened_atom () = Obs.incr int_tightened_atoms
+let count_int_omega_elimination () = Obs.incr int_omega_eliminations
+let count_int_splinter () = Obs.incr int_splinters
+let count_int_bb_fallback () = Obs.incr int_bb_fallbacks
+let count_int_bb_node () = Obs.incr int_bb_nodes
 
 type t = {
   sat_checks : int;
@@ -52,6 +64,12 @@ type t = {
   interval_implies_hits : int;
   interval_disjoint_hits : int;
   interval_bails : int;
+  int_sat_checks : int;
+  int_tightened_atoms : int;
+  int_omega_eliminations : int;
+  int_splinters : int;
+  int_bb_fallbacks : int;
+  int_bb_nodes : int;
   caches : Memo.table_stats list;
 }
 
@@ -70,6 +88,12 @@ let reset () =
   Obs.set interval_implies_hits 0;
   Obs.set interval_disjoint_hits 0;
   Obs.set interval_bails 0;
+  Obs.set int_sat_checks 0;
+  Obs.set int_tightened_atoms 0;
+  Obs.set int_omega_eliminations 0;
+  Obs.set int_splinters 0;
+  Obs.set int_bb_fallbacks 0;
+  Obs.set int_bb_nodes 0;
   Memo.reset_stats ()
 
 let snapshot () =
@@ -88,6 +112,12 @@ let snapshot () =
     interval_implies_hits = Obs.value interval_implies_hits;
     interval_disjoint_hits = Obs.value interval_disjoint_hits;
     interval_bails = Obs.value interval_bails;
+    int_sat_checks = Obs.value int_sat_checks;
+    int_tightened_atoms = Obs.value int_tightened_atoms;
+    int_omega_eliminations = Obs.value int_omega_eliminations;
+    int_splinters = Obs.value int_splinters;
+    int_bb_fallbacks = Obs.value int_bb_fallbacks;
+    int_bb_nodes = Obs.value int_bb_nodes;
     caches = Memo.stats ();
   }
 
@@ -112,6 +142,11 @@ let pp fmt s =
     "solver: interval env_builds=%d sat_hits=%d implies_hits=%d disjoint_hits=%d bails=%d@\n"
     s.interval_env_builds s.interval_sat_hits s.interval_implies_hits s.interval_disjoint_hits
     s.interval_bails;
+  Format.fprintf fmt
+    "solver: int sat_checks=%d tightened=%d omega_eliminations=%d splinters=%d bb_fallbacks=%d \
+     bb_nodes=%d@\n"
+    s.int_sat_checks s.int_tightened_atoms s.int_omega_eliminations s.int_splinters
+    s.int_bb_fallbacks s.int_bb_nodes;
   List.iter
     (fun (c : Memo.table_stats) ->
       Format.fprintf fmt "cache : %-16s hits=%-8d misses=%-8d entries=%-7d hit_rate=%.3f@\n"

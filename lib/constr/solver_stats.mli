@@ -54,6 +54,29 @@ val count_interval_bail : unit -> unit
 (** One query where the tier ran but returned Unknown, falling through to
     the exact procedure. *)
 
+(** {2 Integer domain ({!Zsolve})} *)
+
+val count_int_sat_check : unit -> unit
+(** One entry into the exact integer satisfiability procedure. *)
+
+val count_int_tightened_atom : unit -> unit
+(** One atom actually changed by integer tightening (strict bound closed,
+    coefficient gcd divided out, or a gcd-infeasible equality refuted). *)
+
+val count_int_omega_elimination : unit -> unit
+(** One Omega-test variable elimination (equality substitution, mod-trick
+    rewrite, or a dark-shadow inequality projection). *)
+
+val count_int_splinter : unit -> unit
+(** One splinter branch tried after a dark-shadow refutation. *)
+
+val count_int_bb_fallback : unit -> unit
+(** One satisfiability query handed to branch-and-bound after the Omega
+    elimination budget ran out. *)
+
+val count_int_bb_node : unit -> unit
+(** One branch-and-bound node solved (one simplex relaxation). *)
+
 (** {1 Snapshots} *)
 
 type t = {
@@ -71,6 +94,12 @@ type t = {
   interval_implies_hits : int;  (** implies/implies_atom decided by the tier *)
   interval_disjoint_hits : int;  (** cset work pruned by box-disjointness *)
   interval_bails : int;  (** tier ran but fell through to the exact tier *)
+  int_sat_checks : int;  (** {!Zsolve.is_sat} entries *)
+  int_tightened_atoms : int;  (** atoms changed by integer tightening *)
+  int_omega_eliminations : int;  (** Omega-test eliminations performed *)
+  int_splinters : int;  (** splinter branches tried *)
+  int_bb_fallbacks : int;  (** queries handed to branch-and-bound *)
+  int_bb_nodes : int;  (** branch-and-bound nodes solved *)
   caches : Memo.table_stats list;
 }
 

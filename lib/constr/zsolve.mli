@@ -1,0 +1,51 @@
+(** Exact satisfiability of linear constraint conjunctions over the
+    integers.
+
+    The rational procedures ({!Simplex}, the Fourier–Motzkin eliminator in
+    {!Conj}) are sound but incomplete over ℤ: [2·X = 2·Y + 1] is
+    rationally satisfiable but has no integer solution.  This module
+    decides the integer question exactly, in three layers:
+
+    {ol
+    {- {b Tightening} ({!tighten_atom}): strict bounds close
+       ([e < 0] ↦ [e + 1 ≤ 0]), inequality constants round through the
+       coefficient gcd ([a·x ≤ b] ↦ [x ≤ ⌊b/a⌋]), and equalities whose
+       coefficient gcd does not divide the constant refute outright.
+       Tightening is an equivalence over ℤ, so it runs in front of every
+       other procedure (including the interval tier).}
+    {- {b Omega-test elimination}: equalities are eliminated by exact
+       substitution (unit coefficient) or Pugh's symmetric-modulus rewrite;
+       inequalities by dark-shadow projection with splinter equalities when
+       the dark shadow refutes.  Exact, but the splinter fan-out is bounded
+       by an elimination budget.}
+    {- {b Branch-and-bound} over {!Simplex.solve} as the completeness
+       fallback when the budget runs out: variables are clamped to the
+       von zur Gathen–Sieveking solution bound, so branching on fractional
+       relaxation values (or bisecting on a pivot-limit bail) always
+       terminates.}}
+
+    Callers normally go through {!Conj.is_sat} with {!Cdomain} set to [Z];
+    the direct entry points exist for the property tests and the fuzz
+    harness's omega-vs-branch-and-bound cross-check. *)
+
+val tighten_atom : Atom.t -> Atom.t
+(** The strongest atom with the same integer solutions derivable per-atom
+    (see above).  Idempotent; returns the argument physically unchanged
+    when nothing tightens.  Ground atoms are returned as-is (their truth
+    does not depend on the domain). *)
+
+val is_sat : Atom.t list -> bool
+(** Exact integer satisfiability of the conjunction: Omega-test
+    elimination, falling back to branch-and-bound when the elimination
+    budget is exhausted. *)
+
+val is_sat_bb : Atom.t list -> bool
+(** Branch-and-bound only (no Omega elimination) — kept as an independent
+    second implementation so the fuzz harness can cross-check the two. *)
+
+val floor_rat : Cql_num.Rat.t -> Cql_num.Bigint.t
+val ceil_rat : Cql_num.Rat.t -> Cql_num.Bigint.t
+
+val default_budget : int
+(** Omega eliminations + splinter branches allowed per {!is_sat} query
+    before handing over to branch-and-bound. *)

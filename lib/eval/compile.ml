@@ -322,7 +322,7 @@ let solve_eq_chain classify atoms =
     if Var.Map.cardinal !solved > before && budget > 0 then fix (budget - 1)
   in
   fix (List.length atoms);
-  if Var.Map.is_empty !solved then None else Some value
+  if Var.Map.is_empty !solved then None else Some (value, !solved)
 
 (* ----- execution ----- *)
 
@@ -451,6 +451,15 @@ let run_from (code : code) (fr : frame) ~iter_cands ~emit start side0 cstr0 =
        equation-chain solver forced for otherwise-unbound variables.
        Returns [None] only when some head position stays a variable — the
        caller then builds the non-ground fact generically. *)
+    (* [Fact.of_consts] skips the solver, so in integer mode a non-integral
+       numeric head constant must not take this path: over ℤ the pin
+       [$i = q] is unsatisfiable, which [Fact.make] on the generic path
+       detects.  Bailing to [None] keeps the compiled executor bit-for-bit
+       with the interpreter. *)
+    let const_ok =
+      if Cdomain.is_z () then function Term.Num q -> Rat.is_integer q | Term.Sym _ -> true
+      else fun _ -> true
+    in
     let head_consts value =
       let hs = code.c_head in
       let n = Array.length hs in
@@ -466,14 +475,17 @@ let run_from (code : code) (fr : frame) ~iter_cands ~emit start side0 cstr0 =
           in
           match t with
           | Term.C c ->
-              consts.(i) <- c;
-              go (i + 1)
+              if const_ok c then begin
+                consts.(i) <- c;
+                go (i + 1)
+              end
+              else None
           | Term.V v -> (
               match value v with
-              | Some q ->
+              | Some q when const_ok (Term.Num q) ->
                   consts.(i) <- Term.Num q;
                   go (i + 1)
-              | None -> None)
+              | Some _ | None -> None)
       in
       go 0
     in
@@ -501,7 +513,14 @@ let run_from (code : code) (fr : frame) ~iter_cands ~emit start side0 cstr0 =
             | Term.V _ -> B_free
           in
           match solve_eq_chain classify (Conj.to_list combined) with
-          | Some value -> (
+          | Some (_, solved)
+            when Cdomain.is_z () && Var.Map.exists (fun _ q -> not (Rat.is_integer q)) solved ->
+              (* a forced value holds in every satisfying assignment, so a
+                 non-integral one proves the combined constraint has no
+                 integer solution — exactly what the generic path's
+                 [Conj.is_sat] would conclude *)
+              None
+          | Some (value, _) -> (
               match Conj.eval_at value combined with
               | Some false -> None
               | Some true -> (

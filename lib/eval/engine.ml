@@ -371,13 +371,17 @@ let produce_round bk pool jobs rule_plans =
          per-task buffers; concatenation in task order reproduces the
          sequential production order exactly *)
       bk.bk_freeze ();
+      (* the constraint domain is domain-local state: capture the caller's
+         choice and re-establish it on every worker, so a Z-mode run keeps
+         Z-mode solver verdicts on all [--jobs] paths *)
+      let cdom = Cdomain.current () in
       let outs =
         Fun.protect
           ~finally:(fun () -> bk.bk_thaw ())
           (fun () ->
             let tasks = tasks_of_iteration bk jobs rule_plans in
             Obs.add_field "tasks" (Array.length tasks);
-            Pool.map pool (run_task bk) tasks)
+            Pool.map pool (fun t -> Cdomain.with_domain cdom (fun () -> run_task bk t)) tasks)
       in
       List.concat (Array.to_list outs)
 
@@ -695,6 +699,7 @@ type view = {
   vw_fact_rules : Rule.t list;
   vw_pool : Pool.t option;
   vw_jobs : int;
+  vw_domain : Cdomain.t;  (* constraint domain captured at materialize *)
   vw_max_iterations : int option;
   vw_max_derivations : int option;
   mutable vw_edb : Fact.t list; (* EDB multiset, newest first *)
@@ -987,6 +992,9 @@ let mstate_create ~max_derivations =
 
 let insert ?max_iterations ?max_derivations vw facts =
   check_open vw "Engine.insert";
+  (* maintenance must re-derive under the same constraint domain the view
+     was materialized with, whatever the ambient domain of the caller *)
+  Cdomain.with_domain vw.vw_domain @@ fun () ->
   Obs.span "engine.maintain" @@ fun () ->
   Obs.add_field_str "op" "insert";
   let max_iterations =
@@ -1007,6 +1015,7 @@ let insert ?max_iterations ?max_derivations vw facts =
 
 let retract ?max_iterations ?max_derivations vw facts =
   check_open vw "Engine.retract";
+  Cdomain.with_domain vw.vw_domain @@ fun () ->
   Obs.span "engine.maintain" @@ fun () ->
   Obs.add_field_str "op" "retract";
   let max_iterations =
@@ -1101,6 +1110,7 @@ let materialize ?jobs ?max_iterations ?max_derivations ?compiled (p : Program.t)
       vw_fact_rules = fact_rules;
       vw_pool = (if jobs > 1 then Some (Pool.create ~jobs) else None);
       vw_jobs = jobs;
+      vw_domain = Cdomain.current ();
       vw_max_iterations = max_iterations;
       vw_max_derivations = max_derivations;
       vw_edb = [];
@@ -1141,6 +1151,7 @@ let view_program vw = vw.vw_program
 let view_complete vw = vw.vw_complete
 let view_edb vw = List.rev vw.vw_edb
 let view_jobs vw = vw.vw_jobs
+let view_domain vw = vw.vw_domain
 
 let view_facts_of vw pred = Store.facts vw.vw_store pred
 

@@ -221,6 +221,12 @@ val view_edb : view -> Fact.t list
 (** The current EDB multiset, oldest first. *)
 
 val view_jobs : view -> int
+
+val view_domain : view -> Cql_constr.Cdomain.t
+(** The constraint domain captured when the view was materialized; every
+    {!insert}/{!retract} re-derives under it regardless of the caller's
+    ambient domain. *)
+
 val view_facts_of : view -> string -> Fact.t list
 val view_all_facts : view -> (string * Fact.t list) list
 (** Sorted by predicate, facts sorted by {!Fact.compare}. *)

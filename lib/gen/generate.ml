@@ -2,14 +2,15 @@ open Cql_num
 open Cql_constr
 open Cql_datalog
 
-type mode = Decidable | Linear
+type mode = Decidable | Linear | Int
 
 let mode_of_string = function
   | "decidable" -> Some Decidable
   | "linear" -> Some Linear
+  | "int" -> Some Int
   | _ -> None
 
-let mode_to_string = function Decidable -> "decidable" | Linear -> "linear"
+let mode_to_string = function Decidable -> "decidable" | Linear -> "linear" | Int -> "int"
 
 type config = {
   mode : mode;
@@ -86,6 +87,31 @@ let linear_atom rng cfg numvars =
       (* X = Y + c (an equality between existing variables) *)
       Atom.eq (v ()) (Linexpr.add (v ()) (c ()))
 
+(* integer-mode atoms stress exactly the places Q and ℤ verdicts diverge:
+   non-unit coefficients (bounds that tighten through the gcd, equalities
+   that need Omega elimination), strict bounds (which close over ℤ), and
+   occasional divisibility traps like [2X = 2Y + 1] that are Q-sat but
+   Z-unsat *)
+let int_atom rng cfg numvars =
+  let v () = Linexpr.var (Rng.pick rng numvars) in
+  let c () = Linexpr.of_int (Rng.int rng (cfg.const_range + 1)) in
+  let a () = Rat.of_int (2 + Rng.int rng 2) in
+  match Rng.int rng 5 with
+  | 0 -> decidable_atom rng cfg numvars
+  | 1 ->
+      (* a·X op c: the bound tightens to ⌊c/a⌋ / ⌈c/a⌉ over ℤ *)
+      (op_of rng) (Linexpr.scale (a ()) (v ())) (c ())
+  | 2 ->
+      (* a·X op Y + c: non-unit coefficient for elimination *)
+      (op_of rng) (Linexpr.scale (a ()) (v ())) (Linexpr.add (v ()) (c ()))
+  | 3 ->
+      (* X < Y + c: strict bounds step to X ≤ Y + c − 1 *)
+      Atom.lt (v ()) (Linexpr.add (v ()) (c ()))
+  | _ ->
+      (* a·X = a·Y + c: satisfiable over ℤ iff a divides c *)
+      let k = a () in
+      Atom.eq (Linexpr.scale k (v ())) (Linexpr.add (Linexpr.scale k (v ())) (c ()))
+
 (* ----- rules ----- *)
 
 (* state threaded while building one rule's body *)
@@ -145,13 +171,14 @@ let gen_rule rng cfg ~label ~head_sig ~body_sigs ~allow_rec =
           match cfg.mode with
           | Decidable -> decidable_atom rng cfg nv
           | Linear -> linear_atom rng cfg nv
+          | Int -> int_atom rng cfg nv
         in
         atoms := a :: !atoms
   done;
   (* Linear mode only: occasionally define a fresh head variable by an
      equality over body variables (fib-style arithmetic heads; grounded via
      the single-unknown-equality closure of Rule.grounded_vars) *)
-  (if cfg.mode = Linear && Rng.chance rng 0.4 then
+  (if (cfg.mode = Linear || cfg.mode = Int) && Rng.chance rng 0.4 then
      match numvars () with
      | [] -> ()
      | nv ->
@@ -226,7 +253,7 @@ let case ?(attempts = 20) rng cfg =
     match Program.check p with
     | Ok ()
       when Program.is_range_restricted p
-           && (cfg.mode = Linear || Cql_core.Decidable.in_class p) ->
+           && (cfg.mode <> Decidable || Cql_core.Decidable.in_class p) ->
         (p, gen_edb rng cfg p edb_sigs)
     | _ -> attempt (n - 1)
   in

@@ -10,7 +10,7 @@
     predicate-creation time so constraints only ever touch numeric
     variables and EDB facts are well-typed.
 
-    Two constraint modes:
+    Three constraint modes:
 
     - {!Decidable}: constraints restricted to the decidable class of
       Theorem 5.1 — [X op Y] / [X op c] with [op ∈ {≤, <, ≥, >}], no
@@ -19,11 +19,16 @@
     - {!Linear}: the full linear fragment — scaled variables, sums,
       equality-defined head arguments ([H = X + Y]) — which can make
       bottom-up evaluation diverge (backward-Fibonacci style); the harness
-      runs these under budgets. *)
+      runs these under budgets.
+    - {!Int}: linear atoms biased toward the places ℚ and ℤ verdicts
+      diverge — non-unit coefficients ([2X ≤ 7] tightens to [X ≤ 3]),
+      strict bounds (which close over ℤ), and divisibility traps
+      ([2X = 2Y + 1], Q-sat but Z-unsat).  The harness evaluates these
+      cases under {!Cql_constr.Cdomain.Z}. *)
 
 open Cql_datalog
 
-type mode = Decidable | Linear
+type mode = Decidable | Linear | Int
 
 val mode_of_string : string -> mode option
 val mode_to_string : mode -> string

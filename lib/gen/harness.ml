@@ -22,6 +22,7 @@ type oracle =
   | Update
   | Tier
   | Compiled
+  | Relaxation
 
 let oracle_name = function
   | Answers -> "answers"
@@ -34,6 +35,7 @@ let oracle_name = function
   | Update -> "update"
   | Tier -> "interval"
   | Compiled -> "compiled"
+  | Relaxation -> "relaxation"
 
 let oracle_of_name = function
   | "answers" -> Answers
@@ -46,6 +48,7 @@ let oracle_of_name = function
   | "update" -> Update
   | "interval" -> Tier
   | "compiled" -> Compiled
+  | "relaxation" -> Relaxation
   | s -> invalid_arg ("Harness.oracle_of_name: " ^ s)
 
 type update_op = Insert of F.t | Retract of F.t
@@ -371,19 +374,40 @@ let same_engine_results name res_idx res_seed =
       else None
 
 let check_solver_pool st pool =
-  let bad =
-    List.find_opt
+  if Cdomain.is_z () then
+    (* FM-over-ℚ and the simplex legitimately disagree with the integer
+       verdict ([2X = 1] is Q-sat, Z-unsat), so under ℤ the cross-check
+       pairs the two independent exact procedures: Omega-style elimination
+       against branch-and-bound over the rational relaxation *)
+    let zsat c = Zsolve.is_sat (Conj.to_list c) in
+    let zbb c = Zsolve.is_sat_bb (Conj.to_list c) in
+    let bad =
+      List.find_opt
+        (fun c ->
+          let agree = zsat c = zbb c in
+          if agree then st.checks <- st.checks + 1;
+          not agree)
+        pool
+    in
+    Option.map
       (fun c ->
-        let agree = fm_sat c = simplex_sat c in
-        if agree then st.checks <- st.checks + 1;
-        not agree)
-      pool
-  in
-  Option.map
-    (fun c ->
-      Printf.sprintf "Fourier-Motzkin says %b, simplex says %b on: %s" (fm_sat c)
-        (simplex_sat c) (Conj.to_string c))
-    bad
+        Printf.sprintf "Omega elimination says %b, branch-and-bound says %b on: %s" (zsat c)
+          (zbb c) (Conj.to_string c))
+      bad
+  else
+    let bad =
+      List.find_opt
+        (fun c ->
+          let agree = fm_sat c = simplex_sat c in
+          if agree then st.checks <- st.checks + 1;
+          not agree)
+        pool
+    in
+    Option.map
+      (fun c ->
+        Printf.sprintf "Fourier-Motzkin says %b, simplex says %b on: %s" (fm_sat c)
+          (simplex_sat c) (Conj.to_string c))
+      bad
 
 let check_bound ~max_bound_iters st p =
   if not (Decidable.in_class p) then
@@ -415,8 +439,45 @@ let check_bound ~max_bound_iters st p =
            (Bigint.to_string bound) pres.Pred_constraints.iterations
            pres.Pred_constraints.converged qres.Qrp.iterations qres.Qrp.converged limit)
 
+(* ----- the rational-relaxation oracle (oracle 11, int mode) ----- *)
+
+(* ℤ ⊂ ℚ: any answer derivable under the integer domain is derivable under
+   the rational one, so every Z answer must be covered by the Q answers.
+   One direction only — FM projection over ℤ computes the real shadow, an
+   over-approximation, so Q answers with no integer witness are expected.
+   Coverage is judged in Q mode (the covering constraint is a ℚ statement).
+   Skipped when either run truncates. *)
+let check_relaxation ~max_iterations ~max_derivations st p edb =
+  let run_in dom =
+    Cdomain.with_domain dom (fun () ->
+        Memo.clear_all ();
+        let res = Engine.run ~max_iterations ~max_derivations p ~edb in
+        if (Engine.stats res).Engine.reached_fixpoint then
+          Some (List.sort F.compare (Engine.answers res p))
+        else None)
+  in
+  match (run_in Cdomain.Z, run_in Cdomain.Q) with
+  | Some za, Some qa -> (
+      match Cdomain.with_domain Cdomain.Q (fun () -> first_uncovered za qa) with
+      | Some f ->
+          Some
+            (Printf.sprintf
+               "integer-domain answer %s is not covered by any rational-domain answer"
+               (F.to_string f))
+      | None ->
+          st.checks <- st.checks + 1;
+          None)
+  | _ ->
+      st.runs_truncated <- st.runs_truncated + 1;
+      None
+
 let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_iters = 20)
     ~mode st p edb =
+  (* Int-mode cases run every oracle under the integer domain, so the
+     cache/parallel/interval/compiled differentials double as ℤ
+     transparency checks; the relaxation oracle below is the only one that
+     crosses domains on purpose. *)
+  (if mode = Generate.Int then Cdomain.with_domain Cdomain.Z else fun k -> k ()) @@ fun () ->
   st.cases <- st.cases + 1;
   let fail oracle pipeline detail =
     Some { oracle; pipeline; detail; program = p; edb; updates = [] }
@@ -460,6 +521,14 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
               check_compiled_differential ~max_iterations ~max_derivations ~max_iters st p edb
             with
             | Some detail -> fail Compiled "eval" detail
+            | None -> (
+            let relaxation_failure =
+              if mode = Generate.Int then
+                check_relaxation ~max_iterations ~max_derivations st p edb
+              else None
+            in
+            match relaxation_failure with
+            | Some detail -> fail Relaxation "eval" detail
             | None -> (
             let orig_preds = Program.predicates p in
             let orig_facts pred = Engine.facts_of res0 pred in
@@ -554,7 +623,7 @@ let check_case ?tamper ?(max_iterations = 25) ?(max_derivations = 20_000) ?(max_
             | None -> (
                 match check_solver_pool st !solver_pool with
                 | Some detail -> fail Solver "solver" detail
-                | None -> None)))))))
+                | None -> None))))))))
   end
 
 (* ----- shrinking ----- *)
@@ -662,8 +731,12 @@ let run ?tamper ?config ?max_iterations ?max_derivations ?max_iters ~seed ~count
   in
   { seed; count; stats = st; failure = go 0 }
 
-let replay p edb =
-  let mode = if Decidable.in_class p then Generate.Decidable else Generate.Linear in
+let replay ?mode p edb =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> if Decidable.in_class p then Generate.Decidable else Generate.Linear
+  in
   check_case ~mode (new_stats ()) p edb
 
 (* ----- the update-oracle differential (oracle 8) ----- *)

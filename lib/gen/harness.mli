@@ -1,7 +1,7 @@
 (** Differential fuzzing harness: run generated (program, query, EDB) cases
     through every rewrite pipeline and check the equivalence oracles.
 
-    Ten oracles guard the paper's claims and the implementation:
+    Eleven oracles guard the paper's claims and the implementation:
 
     + {b Answers} — query-answer equivalence: the rewritten program computes
       exactly the original's query answers (Theorems 4.7/4.8, 6.2, 7.10),
@@ -46,6 +46,15 @@
       compilation enabled and disabled (the tuple-at-a-time substitution
       interpreter), each run starting from a fresh cache state (reported as
       ["compiled"]).
+    + {b Relaxation} — integer-mode only ([--mode int]): ℤ ⊂ ℚ, so every
+      answer the integer-domain evaluation derives must be covered by the
+      rational-domain answers of the same program (one-directional — the
+      real-shadow FM projection over-approximates, so the converse is
+      expected to fail).  Integer-mode cases additionally run {e all} the
+      differential oracles above under {!Cql_constr.Cdomain.Z}, which makes
+      the interval-tier differential a ℤ tier-transparency check, and swap
+      the {b Solver} pair to the two independent exact ℤ procedures (Omega
+      elimination vs. branch-and-bound over the rational relaxation).
 
     On failure the harness shrinks the case — dropping rules, EDB facts,
     update ops, body literals and constraint atoms while the failure
@@ -67,6 +76,7 @@ type oracle =
   | Update
   | Tier
   | Compiled
+  | Relaxation
 
 val oracle_name : oracle -> string
 
@@ -152,9 +162,11 @@ val run :
     {!Generate.Exhausted} the harness retries on the next RNG substream
     (counted in [stats.gen_retries], bounded per case). *)
 
-val replay : Program.t -> Cql_eval.Fact.t list -> failure option
-(** Re-check a single case (e.g. a parsed counterexample); the mode is
-    inferred with {!Cql_core.Decidable.in_class}. *)
+val replay : ?mode:Generate.mode -> Program.t -> Cql_eval.Fact.t list -> failure option
+(** Re-check a single case (e.g. a parsed counterexample).  When [mode] is
+    omitted it is inferred with {!Cql_core.Decidable.in_class} (which can
+    only distinguish [Decidable] from [Linear] — pass [Int] explicitly to
+    replay an integer-domain counterexample under ℤ). *)
 
 val check_update_case :
   ?max_iterations:int ->

@@ -52,15 +52,15 @@ let request t j =
           | Ok j -> Ok j
           | Error msg -> Error ("bad response: " ^ msg)))
 
-let eval t ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~program () =
+let eval t ?id ?tenant ?edb ?pipeline ?domain ?max_iterations ?max_derivations ~program () =
   request t
-    (Protocol.eval_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations
-       ~program ())
+    (Protocol.eval_request_json ?id ?tenant ?edb ?pipeline ?domain ?max_iterations
+       ?max_derivations ~program ())
 
-let materialize t ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~view ~program ()
-    =
+let materialize t ?id ?tenant ?edb ?pipeline ?domain ?max_iterations ?max_derivations ~view
+    ~program () =
   request t
-    (Protocol.materialize_request_json ?id ?tenant ?edb ?pipeline ?max_iterations
+    (Protocol.materialize_request_json ?id ?tenant ?edb ?pipeline ?domain ?max_iterations
        ?max_derivations ~view ~program ())
 
 let insert t ?id ?tenant ?max_iterations ?max_derivations ~view ~facts () =

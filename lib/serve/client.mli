@@ -22,6 +22,7 @@ val eval :
   ?tenant:string ->
   ?edb:string ->
   ?pipeline:string ->
+  ?domain:Cql_constr.Cdomain.t ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   program:string ->
@@ -34,6 +35,7 @@ val materialize :
   ?tenant:string ->
   ?edb:string ->
   ?pipeline:string ->
+  ?domain:Cql_constr.Cdomain.t ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   view:string ->

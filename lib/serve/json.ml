@@ -31,9 +31,19 @@ let rec to_buffer b = function
   | Bool v -> Buffer.add_string b (string_of_bool v)
   | Int i -> Buffer.add_string b (string_of_int i)
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
+      (* integral floats inside the 2^53 safe range keep the "x.0" form so
+         readers can tell them from Int; everything else gets the shortest
+         decimal that parses back to the same float — %.12g silently
+         truncates (0.1 +. 0.2 would echo as 0.3) *)
+      if Float.is_integer f && Float.abs f < 9007199254740992.0 then
         Buffer.add_string b (Printf.sprintf "%.1f" f)
-      else Buffer.add_string b (Printf.sprintf "%.12g" f)
+      else
+        let s15 = Printf.sprintf "%.15g" f in
+        if float_of_string s15 = f then Buffer.add_string b s15
+        else
+          let s16 = Printf.sprintf "%.16g" f in
+          if float_of_string s16 = f then Buffer.add_string b s16
+          else Buffer.add_string b (Printf.sprintf "%.17g" f)
   | Str s -> escape_string b s
   | List items ->
       Buffer.add_char b '[';
@@ -262,10 +272,19 @@ let parse s =
 let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
 let to_str = function Str s -> Some s | _ -> None
 
-let to_int = function
-  | Int i -> Some i
-  | Float f when Float.is_integer f && Float.abs f < 1e15 -> Some (int_of_float f)
-  | _ -> None
+type int_error = Not_an_integer | Unsafe_integer
+
+(* Doubles lose integer precision from 2^53 up (9007199254740993 parses to
+   the float 9007199254740992.), so accepting the old 1e15 bound silently
+   corrupted large ids.  Only the safe range converts; integral floats
+   beyond it are a distinct, reportable error. *)
+let to_int_checked = function
+  | Int i -> Ok i
+  | Float f when Float.is_integer f && Float.abs f < 9007199254740992.0 -> Ok (int_of_float f)
+  | Float f when Float.is_integer f -> Error Unsafe_integer
+  | _ -> Error Not_an_integer
+
+let to_int j = Result.to_option (to_int_checked j)
 
 let to_bool = function Bool b -> Some b | _ -> None
 let to_list = function List l -> Some l | _ -> None

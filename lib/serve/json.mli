@@ -34,8 +34,19 @@ val member : string -> t -> t option
     constructors. *)
 
 val to_str : t -> string option
+
+type int_error =
+  | Not_an_integer  (** not a number, or a float with a fractional part *)
+  | Unsafe_integer
+      (** an integral float at or beyond 2^53, where doubles no longer
+          represent every integer — converting would silently round *)
+
+val to_int_checked : t -> (int, int_error) result
+(** [Ok] for [Int] and for integral [Float]s strictly inside the 2^53 safe
+    range; lossy conversions are rejected with {!Unsafe_integer}. *)
+
 val to_int : t -> int option
-(** [to_int (Float f)] is [Some] when [f] is integral. *)
+(** [to_int_checked] squashed to an option. *)
 
 val to_bool : t -> bool option
 val to_list : t -> t list option

@@ -25,7 +25,11 @@ let evictions = Obs.counter "serve.plan_cache.evictions"
 let create ~max_entries =
   { m = Mutex.create (); table = Hashtbl.create 64; max_entries = max 1 max_entries; tick = 0 }
 
-let key ~pipeline ~source = Digest.to_hex (Digest.string (pipeline ^ "\x00" ^ source))
+(* the domain participates in the key: a Z-mode compilation is planned from
+   Z-mode rewrite verdicts, so it must never be replayed for a Q request *)
+let key ~pipeline ~domain ~source =
+  Digest.to_hex
+    (Digest.string (pipeline ^ "\x00" ^ Cql_constr.Cdomain.to_string domain ^ "\x00" ^ source))
 
 let locked t f =
   Mutex.lock t.m;

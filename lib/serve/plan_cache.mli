@@ -36,8 +36,10 @@ type t
 val create : max_entries:int -> t
 (** LRU-evicting cache of at most [max 1 max_entries] plans. *)
 
-val key : pipeline:string -> source:string -> string
-(** Digest identifying a compiled plan (pipeline name + program text). *)
+val key : pipeline:string -> domain:Cql_constr.Cdomain.t -> source:string -> string
+(** Digest of pipeline, constraint domain and program source: rewrite
+    verdicts (and hence plans) are domain-dependent, so Q and Z
+    compilations of the same source never share an entry. *)
 
 val find : t -> string -> plan option
 (** [Some] counts a hit, [None] a miss, in the Obs counters. *)

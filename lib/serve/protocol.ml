@@ -1,3 +1,5 @@
+module Cdomain = Cql_constr.Cdomain
+
 type request =
   | Eval of {
       id : string option;
@@ -5,6 +7,7 @@ type request =
       program : string;
       edb : string;
       pipeline : string;
+      domain : Cdomain.t;
       max_iterations : int option;
       max_derivations : int option;
     }
@@ -15,6 +18,7 @@ type request =
       program : string;
       edb : string;
       pipeline : string;
+      domain : Cdomain.t;
       max_iterations : int option;
       max_derivations : int option;
     }
@@ -61,6 +65,29 @@ let opt_field name conv j =
       | Some x -> Ok (Some x)
       | None -> Error (Printf.sprintf "field %S has the wrong type" name))
 
+(* integer fields go through the checked conversion so an out-of-safe-range
+   float reports what is wrong with it, not a generic type error *)
+let int_field name j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_int_checked v with
+      | Ok x -> Ok (Some x)
+      | Error Json.Unsafe_integer ->
+          Error (Printf.sprintf "field %S is outside the 2^53 safe integer range" name)
+      | Error Json.Not_an_integer ->
+          Error (Printf.sprintf "field %S has the wrong type" name))
+
+(* optional "domain" field: absent means rational, the paper's setting *)
+let domain_field j =
+  match opt_field "domain" Json.to_str j with
+  | Error _ as e -> e
+  | Ok None -> Ok Cdomain.Q
+  | Ok (Some s) -> (
+      match Cdomain.of_string s with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "field \"domain\" must be \"rat\" or \"int\", got %S" s))
+
 let request_of_json j =
   let ( let* ) = Result.bind in
   match Json.member "op" j with
@@ -86,8 +113,9 @@ let request_of_json j =
               let* tenant = opt_field "tenant" Json.to_str j in
               let* edb = opt_field "edb" Json.to_str j in
               let* pipeline = opt_field "pipeline" Json.to_str j in
-              let* max_iterations = opt_field "max_iterations" Json.to_int j in
-              let* max_derivations = opt_field "max_derivations" Json.to_int j in
+              let* domain = domain_field j in
+              let* max_iterations = int_field "max_iterations" j in
+              let* max_derivations = int_field "max_derivations" j in
               Ok
                 (Eval
                    {
@@ -96,6 +124,7 @@ let request_of_json j =
                      program;
                      edb = Option.value edb ~default:"";
                      pipeline = Option.value pipeline ~default:"pred,qrp";
+                     domain;
                      max_iterations;
                      max_derivations;
                    })
@@ -105,8 +134,9 @@ let request_of_json j =
               let* tenant = opt_field "tenant" Json.to_str j in
               let* edb = opt_field "edb" Json.to_str j in
               let* pipeline = opt_field "pipeline" Json.to_str j in
-              let* max_iterations = opt_field "max_iterations" Json.to_int j in
-              let* max_derivations = opt_field "max_derivations" Json.to_int j in
+              let* domain = domain_field j in
+              let* max_iterations = int_field "max_iterations" j in
+              let* max_derivations = int_field "max_derivations" j in
               Ok
                 (Materialize
                    {
@@ -116,6 +146,7 @@ let request_of_json j =
                      program;
                      edb = Option.value edb ~default:"";
                      pipeline = Option.value pipeline ~default:"pred,qrp";
+                     domain;
                      max_iterations;
                      max_derivations;
                    })
@@ -123,8 +154,8 @@ let request_of_json j =
               let* view = str_field "view" in
               let* facts = str_field "facts" in
               let* tenant = opt_field "tenant" Json.to_str j in
-              let* max_iterations = opt_field "max_iterations" Json.to_int j in
-              let* max_derivations = opt_field "max_derivations" Json.to_int j in
+              let* max_iterations = int_field "max_iterations" j in
+              let* max_derivations = int_field "max_derivations" j in
               Ok
                 (Update
                    {
@@ -153,18 +184,20 @@ let with_id id fields =
 
 let opt name conv v fields = match v with None -> fields | Some v -> (name, conv v) :: fields
 
-let eval_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~program () =
+let eval_request_json ?id ?tenant ?edb ?pipeline ?domain ?max_iterations ?max_derivations
+    ~program () =
   Json.Obj
     (with_id id
        ([ ("op", Json.Str "eval"); ("program", Json.Str program) ]
        |> opt "tenant" (fun s -> Json.Str s) tenant
        |> opt "edb" (fun s -> Json.Str s) edb
        |> opt "pipeline" (fun s -> Json.Str s) pipeline
+       |> opt "domain" (fun d -> Json.Str (Cdomain.to_string d)) domain
        |> opt "max_iterations" (fun i -> Json.Int i) max_iterations
        |> opt "max_derivations" (fun i -> Json.Int i) max_derivations))
 
-let materialize_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_derivations ~view
-    ~program () =
+let materialize_request_json ?id ?tenant ?edb ?pipeline ?domain ?max_iterations ?max_derivations
+    ~view ~program () =
   Json.Obj
     (with_id id
        ([
@@ -173,6 +206,7 @@ let materialize_request_json ?id ?tenant ?edb ?pipeline ?max_iterations ?max_der
        |> opt "tenant" (fun s -> Json.Str s) tenant
        |> opt "edb" (fun s -> Json.Str s) edb
        |> opt "pipeline" (fun s -> Json.Str s) pipeline
+       |> opt "domain" (fun d -> Json.Str (Cdomain.to_string d)) domain
        |> opt "max_iterations" (fun i -> Json.Int i) max_iterations
        |> opt "max_derivations" (fun i -> Json.Int i) max_derivations))
 

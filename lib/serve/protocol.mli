@@ -15,10 +15,13 @@
 
     {ul
     {- [{"op": "eval", "program": SRC, "edb": SRC, "tenant": T, "pipeline":
-       P, "max_iterations": N, "max_derivations": N, "id": ID}] — compile
-       (plan-cache keyed by digest of [pipeline] + [program]), evaluate, and
-       answer.  Only [program] is required; [pipeline] is one of ["none"],
-       ["pred,qrp"] (default) or ["optimal"].}
+       P, "domain": D, "max_iterations": N, "max_derivations": N, "id":
+       ID}] — compile (plan-cache keyed by digest of [pipeline] + [domain]
+       + [program]), evaluate, and answer.  Only [program] is required;
+       [pipeline] is one of ["none"], ["pred,qrp"] (default) or
+       ["optimal"]; [domain] is ["rat"] (default) or ["int"] and selects
+       the constraint interpretation (integer mode decides constraints
+       exactly over ℤ).}
     {- [{"op": "materialize", "view": NAME, "program": SRC, "edb": SRC,
        ...}] — evaluate once and keep a live incremental view, keyed by
        tenant and [NAME] in the view cache alongside the plan cache; the
@@ -51,6 +54,9 @@ type request =
       program : string;
       edb : string;  (** facts source; [""] when absent *)
       pipeline : string;
+      domain : Cql_constr.Cdomain.t;
+          (** constraint domain from the optional ["domain"] field
+              (["rat"]/["int"]); {!Cql_constr.Cdomain.Q} when absent *)
       max_iterations : int option;
       max_derivations : int option;
     }
@@ -61,6 +67,9 @@ type request =
       program : string;
       edb : string;
       pipeline : string;
+      domain : Cql_constr.Cdomain.t;
+          (** the view is materialized {e and maintained} under this
+              domain; updates need not (and cannot) restate it *)
       max_iterations : int option;
       max_derivations : int option;
     }
@@ -98,6 +107,7 @@ val eval_request_json :
   ?tenant:string ->
   ?edb:string ->
   ?pipeline:string ->
+  ?domain:Cql_constr.Cdomain.t ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   program:string ->
@@ -109,6 +119,7 @@ val materialize_request_json :
   ?tenant:string ->
   ?edb:string ->
   ?pipeline:string ->
+  ?domain:Cql_constr.Cdomain.t ->
   ?max_iterations:int ->
   ?max_derivations:int ->
   view:string ->

@@ -4,6 +4,7 @@ module Obs = Cql_obs.Obs
 module Pool = Cql_par.Pool
 module Engine = Cql_eval.Engine
 module Fact = Cql_eval.Fact
+module Cdomain = Cql_constr.Cdomain
 
 type config = {
   socket_path : string;
@@ -63,9 +64,17 @@ let compile ~pipeline (p : Program.t) =
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
-(* plan-cache lookup shared by eval and materialize *)
-let compiled_plan t ~pipeline ~source p =
-  let key = Plan_cache.key ~pipeline ~source in
+(* An unsatisfiable fact denotes the empty relation, so it contributes
+   nothing to any fixpoint: drop it instead of letting [Fact.Unsat] escape.
+   Under ["domain": "int"] this is the normal fate of a fact pinning a
+   position to a non-integral value. *)
+let fact_opt r = match Fact.of_fact_rule r with f -> Some f | exception Fact.Unsat -> None
+
+(* plan-cache lookup shared by eval and materialize; the caller has already
+   entered the request's constraint domain (rewrite verdicts depend on it,
+   and the key separates the domains) *)
+let compiled_plan t ~pipeline ~domain ~source p =
+  let key = Plan_cache.key ~pipeline ~domain ~source in
   match Plan_cache.find t.cache key with
   | Some plan -> (true, Ok plan)
   | None -> (
@@ -89,8 +98,10 @@ let compiled_plan t ~pipeline ~source p =
 
 (* ----- eval ----- *)
 
-let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_derivations () =
+let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~domain ~max_iterations ~max_derivations
+    () =
   Obs.add_field_str "tenant" tenant;
+  Obs.add_field_str "domain" (Cdomain.to_string domain);
   let err kind msg =
     Obs.incr t.errors;
     Obs.add_field_str "status" (Protocol.error_kind_to_string kind);
@@ -105,16 +116,19 @@ let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_deriv
   | Admission.Reject_busy msg | Admission.Reject_budget msg -> err Protocol.Admission msg
   | Admission.Admit { max_iterations; max_derivations } -> (
       Fun.protect ~finally:(fun () -> Admission.release t.adm ~tenant) @@ fun () ->
+      (* the request's domain scopes everything with solver contact: EDB
+         admission, rewrite, compilation and the run itself *)
+      Cdomain.with_domain domain @@ fun () ->
       match Parser.program_of_string program with
       | exception Parser.Error msg -> err Protocol.Parse_error msg
       | p -> (
-          match List.map Fact.of_fact_rule (Parser.facts_of_string edb) with
+          match List.filter_map fact_opt (Parser.facts_of_string edb) with
           | exception Parser.Error msg -> err Protocol.Parse_error ("edb: " ^ msg)
           | edb -> (
               (* without a query predicate there is nothing to push; the
                  effective pipeline is recorded in the response *)
               let pipeline = if p.Program.query = None then "none" else pipeline in
-              let cached, plan = compiled_plan t ~pipeline ~source:program p in
+              let cached, plan = compiled_plan t ~pipeline ~domain ~source:program p in
               match plan with
               | Error (kind, msg) -> err kind msg
               | Ok plan -> (
@@ -145,6 +159,7 @@ let handle_eval t ?id ~tenant ~program ~edb ~pipeline ~max_iterations ~max_deriv
                             ("tenant", Json.Str tenant);
                             ("cache", Json.Str (if cached then "hit" else "miss"));
                             ("pipeline", Json.Str plan.Plan_cache.pipeline);
+                            ("domain", Json.Str (Cdomain.to_string domain));
                             ( "query",
                               match plan.Plan_cache.program.Program.query with
                               | Some q -> Json.Str q
@@ -187,10 +202,11 @@ let maintain_json (ms : Engine.maintain_stats) =
 
 let answers_json answers = Json.List (List.map (fun f -> Json.Str (Fact.to_string f)) answers)
 
-let handle_materialize t ?id ~tenant ~view:name ~program ~edb ~pipeline ~max_iterations
+let handle_materialize t ?id ~tenant ~view:name ~program ~edb ~pipeline ~domain ~max_iterations
     ~max_derivations () =
   Obs.add_field_str "tenant" tenant;
   Obs.add_field_str "view" name;
+  Obs.add_field_str "domain" (Cdomain.to_string domain);
   let err kind msg =
     Obs.incr t.errors;
     Obs.add_field_str "status" (Protocol.error_kind_to_string kind);
@@ -205,14 +221,17 @@ let handle_materialize t ?id ~tenant ~view:name ~program ~edb ~pipeline ~max_ite
   | Admission.Reject_busy msg | Admission.Reject_budget msg -> err Protocol.Admission msg
   | Admission.Admit { max_iterations; max_derivations } -> (
       Fun.protect ~finally:(fun () -> Admission.release t.adm ~tenant) @@ fun () ->
+      (* the view is materialized under the request's domain and remembers
+         it: later insert/retract maintenance re-enters it automatically *)
+      Cdomain.with_domain domain @@ fun () ->
       match Parser.program_of_string program with
       | exception Parser.Error msg -> err Protocol.Parse_error msg
       | p -> (
-          match List.map Fact.of_fact_rule (Parser.facts_of_string edb) with
+          match List.filter_map fact_opt (Parser.facts_of_string edb) with
           | exception Parser.Error msg -> err Protocol.Parse_error ("edb: " ^ msg)
           | edb -> (
               let pipeline = if p.Program.query = None then "none" else pipeline in
-              let cached, plan = compiled_plan t ~pipeline ~source:program p in
+              let cached, plan = compiled_plan t ~pipeline ~domain ~source:program p in
               match plan with
               | Error (kind, msg) -> err kind msg
               | Ok plan -> (
@@ -245,6 +264,7 @@ let handle_materialize t ?id ~tenant ~view:name ~program ~edb ~pipeline ~max_ite
                             ("view", Json.Str name);
                             ("cache", Json.Str (if cached then "hit" else "miss"));
                             ("pipeline", Json.Str plan.Plan_cache.pipeline);
+                            ("domain", Json.Str (Cdomain.to_string domain));
                             ( "query",
                               match plan.Plan_cache.program.Program.query with
                               | Some q -> Json.Str q
@@ -278,12 +298,16 @@ let handle_update t ?id ~tenant ~view:name ~retract ~facts ~max_iterations ~max_
   | Admission.Reject_busy msg | Admission.Reject_budget msg -> err Protocol.Admission msg
   | Admission.Admit { max_iterations; max_derivations } -> (
       Fun.protect ~finally:(fun () -> Admission.release t.adm ~tenant) @@ fun () ->
-      match List.map Fact.of_fact_rule (Parser.facts_of_string facts) with
-      | exception Parser.Error msg -> err Protocol.Parse_error ("facts: " ^ msg)
-      | fs -> (
-          let t0 = Obs.monotonic_ns () in
-          let result =
-            View_cache.with_view t.views ~tenant ~view:name (fun vw ->
+      let t0 = Obs.monotonic_ns () in
+      let result =
+        View_cache.with_view t.views ~tenant ~view:name (fun vw ->
+            (* fact admission must use the view's domain: a Z-mode view
+               rejects (drops) facts pinning non-integral values exactly as
+               its original materialization would have *)
+            Cdomain.with_domain (Engine.view_domain vw) @@ fun () ->
+            match List.filter_map fact_opt (Parser.facts_of_string facts) with
+            | exception Parser.Error msg -> Error (Protocol.Parse_error, "facts: " ^ msg)
+            | fs -> (
                 let op = if retract then Engine.retract else Engine.insert in
                 match op ~max_iterations ~max_derivations vw fs with
                 | exception Invalid_argument msg -> Error (Protocol.Internal, msg)
@@ -295,33 +319,33 @@ let handle_update t ?id ~tenant ~view:name ~retract ~facts ~max_iterations ~max_
                             "maintenance truncated by its budget after %d iterations / %d \
                              derivations"
                             ms.Engine.m_iterations ms.Engine.m_derivations )
-                    else Ok (ms, Engine.view_answers vw, Engine.view_total vw))
-          in
-          match result with
-          | None ->
-              err Protocol.Unknown_view
-                (Printf.sprintf
-                   "tenant %S has no view %S (materialize it first; it may have been evicted)"
-                   tenant name)
-          | Some (Error (Protocol.Budget, msg)) ->
-              (* a truncated view under-approximates its fixpoint; drop it
-                 rather than serve silently stale answers *)
-              ignore (View_cache.remove t.views ~tenant ~view:name);
-              err Protocol.Budget (msg ^ "; the view has been dropped")
-          | Some (Error (kind, msg)) -> err kind msg
-          | Some (Ok (ms, answers, total)) ->
-              Obs.add_field_str "status" "ok";
-              Obs.add_field "answers" (List.length answers);
-              Protocol.ok_response ?id
-                [
-                  ("tenant", Json.Str tenant);
-                  ("view", Json.Str name);
-                  ("op", Json.Str (if retract then "retract" else "insert"));
-                  ("answers", answers_json answers);
-                  ("facts", Json.Int total);
-                  ("maintain", maintain_json ms);
-                  ("eval_ms", Json.Float (ms_of_ns (Int64.sub (Obs.monotonic_ns ()) t0)));
-                ]))
+                    else Ok (ms, Engine.view_answers vw, Engine.view_total vw)))
+      in
+      match result with
+      | None ->
+          err Protocol.Unknown_view
+            (Printf.sprintf
+               "tenant %S has no view %S (materialize it first; it may have been evicted)"
+               tenant name)
+      | Some (Error (Protocol.Budget, msg)) ->
+          (* a truncated view under-approximates its fixpoint; drop it
+             rather than serve silently stale answers *)
+          ignore (View_cache.remove t.views ~tenant ~view:name);
+          err Protocol.Budget (msg ^ "; the view has been dropped")
+      | Some (Error (kind, msg)) -> err kind msg
+      | Some (Ok (ms, answers, total)) ->
+          Obs.add_field_str "status" "ok";
+          Obs.add_field "answers" (List.length answers);
+          Protocol.ok_response ?id
+            [
+              ("tenant", Json.Str tenant);
+              ("view", Json.Str name);
+              ("op", Json.Str (if retract then "retract" else "insert"));
+              ("answers", answers_json answers);
+              ("facts", Json.Int total);
+              ("maintain", maintain_json ms);
+              ("eval_ms", Json.Float (ms_of_ns (Int64.sub (Obs.monotonic_ns ()) t0)));
+            ])
 
 let handle_query t ?id ~tenant ~view:name () =
   Obs.add_field_str "tenant" tenant;
@@ -331,20 +355,22 @@ let handle_query t ?id ~tenant ~view:name () =
         ( Engine.view_answers vw,
           Engine.view_total vw,
           List.length (Engine.view_edb vw),
-          Engine.view_complete vw ))
+          Engine.view_complete vw,
+          Engine.view_domain vw ))
   with
   | None ->
       Obs.incr t.errors;
       Obs.add_field_str "status" "unknown_view";
       Protocol.error_response ?id Protocol.Unknown_view
         (Printf.sprintf "tenant %S has no view %S" tenant name)
-  | Some (answers, total, edb_facts, complete) ->
+  | Some (answers, total, edb_facts, complete, domain) ->
       Obs.add_field_str "status" "ok";
       Obs.add_field "answers" (List.length answers);
       Protocol.ok_response ?id
         [
           ("tenant", Json.Str tenant);
           ("view", Json.Str name);
+          ("domain", Json.Str (Cdomain.to_string domain));
           ("answers", answers_json answers);
           ("facts", Json.Int total);
           ("edb_facts", Json.Int edb_facts);
@@ -427,7 +453,7 @@ let respond t payload =
           end
           else
             handle_eval t ?id:e.id ~tenant:e.tenant ~program:e.program ~edb:e.edb
-              ~pipeline:e.pipeline ~max_iterations:e.max_iterations
+              ~pipeline:e.pipeline ~domain:e.domain ~max_iterations:e.max_iterations
               ~max_derivations:e.max_derivations ()
       | Ok (Protocol.Materialize m) ->
           if stopping t then begin
@@ -437,7 +463,7 @@ let respond t payload =
           end
           else
             handle_materialize t ?id:m.id ~tenant:m.tenant ~view:m.view ~program:m.program
-              ~edb:m.edb ~pipeline:m.pipeline ~max_iterations:m.max_iterations
+              ~edb:m.edb ~pipeline:m.pipeline ~domain:m.domain ~max_iterations:m.max_iterations
               ~max_derivations:m.max_derivations ()
       | Ok (Protocol.Update u) ->
           if stopping t then begin

@@ -822,6 +822,199 @@ let test_cset_prune_multi () =
       check_bool "exact tier agrees" false
         (Cset.conj_implies far (Cset.of_disjuncts [ d1; d3 ])))
 
+(* ----- the integer domain: tightening, Omega elimination, B&B ----- *)
+
+let scale2 e = Linexpr.scale (Q.of_int 2) e
+let scale3 e = Linexpr.scale (Q.of_int 3) e
+let parity_atom = Atom.eq (scale2 vx) (Linexpr.add (scale2 vy) (n 1))
+
+let test_ztighten_rules () =
+  (* strict bounds close: X < 3 ↦ X ≤ 2 *)
+  check_bool "strict closes" true
+    (Atom.equal (Zsolve.tighten_atom (Atom.lt vx (n 3))) (Atom.le vx (n 2)));
+  (* constants round through the coefficient gcd: 2X ≤ 5 ↦ X ≤ 2 *)
+  check_bool "gcd rounding" true
+    (Atom.equal (Zsolve.tighten_atom (Atom.le (scale2 vx) (n 5))) (Atom.le vx (n 2)));
+  (* fractional inputs integerize first: (1/2)X ≤ 3/4 ↦ X ≤ 1 *)
+  check_bool "fractional rounding" true
+    (Atom.equal
+       (Zsolve.tighten_atom
+          (Atom.le
+             (Linexpr.of_terms [ (Q.of_ints 1 2, x) ] Q.zero)
+             (Linexpr.of_terms [] (Q.of_ints 3 4))))
+       (Atom.le vx (n 1)));
+  (* an equality whose coefficient gcd does not divide the constant refutes *)
+  check_bool "parity equality refutes" true
+    (Atom.equal (Zsolve.tighten_atom parity_atom) Atom.ff);
+  (* dividing equalities stay: 2X = 2Y + 4 keeps its solutions *)
+  let even = Atom.eq (scale2 vx) (Linexpr.add (scale2 vy) (n 4)) in
+  check_bool "dividing equality kept" false (Atom.equal (Zsolve.tighten_atom even) Atom.ff);
+  (* ground atoms come back physically unchanged *)
+  let ground = Atom.lt (n 0) (n 1) in
+  check_bool "ground untouched" true (Zsolve.tighten_atom ground == ground);
+  (* and the Conj-level sweep refutes the whole conjunction *)
+  check_bool "ztighten to ff" true (Conj.equal (Conj.ztighten (conj [ parity_atom ])) Conj.ff)
+
+let test_zsat_basics () =
+  (* 2X = 2Y + 1: rationally satisfiable, no integer solution *)
+  check_bool "parity sat over Q" true (Simplex.is_sat [ parity_atom ]);
+  check_bool "parity unsat via Omega" false (Zsolve.is_sat [ parity_atom ]);
+  check_bool "parity unsat via B&B" false (Zsolve.is_sat_bb [ parity_atom ]);
+  (* the point X = 1/2: nonempty over Q, empty over ℤ *)
+  let half = [ Atom.ge (scale2 vx) (n 1); Atom.le (scale2 vx) (n 1) ] in
+  check_bool "half-point sat over Q" true (Simplex.is_sat half);
+  check_bool "half-point unsat over Z" false (Zsolve.is_sat half);
+  (* [2/3, 4/3] contains the integer 1; [2/3, 5/6] contains none *)
+  check_bool "unit-width interval sat" true
+    (Zsolve.is_sat [ Atom.ge (scale3 vx) (n 2); Atom.le (scale3 vx) (n 4) ]);
+  let thin = [ Atom.ge (Linexpr.scale (Q.of_int 6) vx) (n 4); Atom.le (Linexpr.scale (Q.of_int 6) vx) (n 5) ] in
+  check_bool "thin interval sat over Q" true (Simplex.is_sat thin);
+  check_bool "thin interval unsat over Z" false (Zsolve.is_sat thin);
+  check_bool "thin interval unsat via B&B" false (Zsolve.is_sat_bb thin);
+  (* a two-variable equality with a Bézout solution: 3X + 5Y = 1 *)
+  check_bool "bezout sat" true
+    (Zsolve.is_sat [ Atom.eq (Linexpr.add (scale3 vx) (Linexpr.scale (Q.of_int 5) vy)) (n 1) ]);
+  (* Conj.is_sat routes through Zsolve exactly when the domain is Z *)
+  Memo.with_caches true @@ fun () ->
+  let c = conj half in
+  check_bool "Conj.is_sat over Q" true (Conj.is_sat c);
+  check_bool "Conj.is_sat over Z" false
+    (Cdomain.with_domain Cdomain.Z (fun () -> Conj.is_sat c))
+
+let test_int_counters () =
+  Memo.with_caches true @@ fun () ->
+  Solver_stats.reset ();
+  let half = conj [ Atom.ge (scale2 vx) (n 1); Atom.le (scale2 vx) (n 1) ] in
+  check_bool "half-point unsat, tier off" false
+    (Cdomain.with_domain Cdomain.Z (fun () ->
+         Interval.with_tier false (fun () -> Conj.is_sat half)));
+  let st = Solver_stats.snapshot () in
+  check_bool "sat checks counted" true (st.Solver_stats.int_sat_checks >= 1);
+  check_bool "tightened atoms counted" true (st.Solver_stats.int_tightened_atoms >= 2)
+
+(* satellite: interval-tier verdicts on integer-tightened atoms must agree
+   with the exact integer procedures — endpoint-touching cases where the
+   rational box verdict and the ℤ verdict genuinely differ *)
+
+let test_interval_z_verdicts () =
+  let zsat atoms = Cdomain.with_domain Cdomain.Z (fun () -> itv_sat atoms) in
+  let half = [ Atom.ge (scale2 vx) (n 1); Atom.le (scale2 vx) (n 1) ] in
+  check_bool "half-point box over Q" true (itv_sat half = Interval.True);
+  check_bool "half-point box rounds empty over Z" true (zsat half = Interval.False);
+  (* the open interval (2, 3): sat over Q, no integer inside *)
+  let gap = [ Atom.gt vx (n 2); Atom.lt vx (n 3) ] in
+  check_bool "open unit gap over Q" true (itv_sat gap = Interval.True);
+  check_bool "open unit gap empty over Z" true (zsat gap = Interval.False);
+  (* touching an integer endpoint survives the rounding *)
+  check_bool "integer endpoint survives" true
+    (zsat [ Atom.ge (scale2 vx) (n 4); Atom.le vx (n 2) ] = Interval.True);
+  check_bool "interval containing an integer survives" true
+    (zsat [ Atom.ge (scale3 vx) (n 2); Atom.le (scale3 vx) (n 4) ] = Interval.True);
+  (* every definite verdict above matches the exact integer answer *)
+  List.iter
+    (fun (label, atoms) ->
+      match zsat atoms with
+      | Interval.Unknown -> ()
+      | v ->
+          check_bool (label ^ ": box verdict matches exact Z") true
+            ((v = Interval.True) = Zsolve.is_sat atoms))
+    [
+      ("half", half);
+      ("gap", gap);
+      ("endpoint", [ Atom.ge (scale2 vx) (n 4); Atom.le vx (n 2) ]);
+      ("unit-width", [ Atom.ge (scale3 vx) (n 2); Atom.le (scale3 vx) (n 4) ]);
+    ]
+
+let test_z_tier_endpoints () =
+  (* tier on and tier off agree with Zsolve through Conj.is_sat under Z *)
+  let cases =
+    [
+      ("half-point", [ Atom.ge (scale2 vx) (n 1); Atom.le (scale2 vx) (n 1) ], false);
+      ("open gap", [ Atom.gt vx (n 2); Atom.lt vx (n 3) ], false);
+      ("endpoint", [ Atom.ge (scale2 vx) (n 4); Atom.le vx (n 2) ], true);
+      ("unit-width", [ Atom.ge (scale3 vx) (n 2); Atom.le (scale3 vx) (n 4) ], true);
+      ("parity", [ parity_atom ], false);
+    ]
+  in
+  List.iter
+    (fun (label, atoms, expected) ->
+      check_bool (label ^ ": exact") expected
+        (Cdomain.with_domain Cdomain.Z (fun () -> Zsolve.is_sat atoms));
+      let via tier =
+        Cdomain.with_domain Cdomain.Z (fun () ->
+            Interval.with_tier tier (fun () ->
+                Memo.with_caches true (fun () -> Conj.is_sat (conj atoms))))
+      in
+      check_bool (label ^ ": tier on") expected (via true);
+      check_bool (label ^ ": tier off") expected (via false))
+    cases
+
+(* ----- integer-domain properties ----- *)
+
+let int_point_gen =
+  QCheck.Gen.(
+    map
+      (fun l ->
+        List.fold_left2
+          (fun acc v q -> Var.Map.add v (Q.of_int q) acc)
+          Var.Map.empty (Array.to_list vars_pool) l)
+      (list_repeat 4 (int_range (-8) 8)))
+
+let prop_ztighten_preserves_z_points =
+  QCheck.Test.make ~name:"tighten_atom preserves integer solutions" ~count:500
+    (QCheck.make QCheck.Gen.(pair atom_gen int_point_gen)) (fun (a, env) ->
+      eval_atom env a = eval_atom env (Zsolve.tighten_atom a))
+
+let prop_z_sound =
+  QCheck.Test.make ~name:"integer point satisfying conj => Z-sat" ~count:500
+    (QCheck.make QCheck.Gen.(pair conj_gen int_point_gen)) (fun (c, env) ->
+      QCheck.assume (eval_conj env c);
+      Zsolve.is_sat (Conj.to_list c))
+
+(* pure branch-and-bound explores the whole von zur Gathen box when the
+   system is unbounded, so the cross-check generator pins every variable
+   inside an explicit box; the fuzz harness's solver-pool oracle covers
+   the unbounded space through the budgeted path *)
+let boxed_z_gen =
+  QCheck.Gen.(
+    let coeff = map Q.of_int (int_range (-3) 3) in
+    let term = map2 (fun c i -> (c, vars_pool.(i))) coeff (int_range 0 1) in
+    let expr =
+      map2
+        (fun ts k -> Linexpr.of_terms ts (Q.of_int k))
+        (list_size (int_range 1 2) term) (int_range (-5) 5)
+    in
+    let atom =
+      map2
+        (fun e op -> Atom.make e (match op with 0 -> Atom.Le | 1 -> Atom.Lt | _ -> Atom.Eq))
+        expr (int_range 0 2)
+    in
+    map
+      (fun atoms ->
+        Atom.ge vx (n (-6)) :: Atom.le vx (n 6) :: Atom.ge vy (n (-6)) :: Atom.le vy (n 6)
+        :: atoms)
+      (list_size (int_range 0 4) atom))
+
+let prop_omega_bb_agree =
+  QCheck.Test.make ~name:"Omega elimination agrees with branch-and-bound" ~count:500
+    (QCheck.make boxed_z_gen) (fun atoms ->
+      Zsolve.is_sat atoms = Zsolve.is_sat_bb atoms)
+
+let prop_z_relaxation =
+  QCheck.Test.make ~name:"Z-sat implies Q-sat (relaxation soundness)" ~count:500
+    (QCheck.make bigger_conj_gen) (fun atoms ->
+      (not (Zsolve.is_sat atoms)) || Simplex.is_sat atoms)
+
+let prop_z_tier_transparent =
+  QCheck.Test.make ~name:"interval tier is result-transparent over Z" ~count:300
+    (QCheck.make bigger_conj_gen) (fun atoms ->
+      Cdomain.with_domain Cdomain.Z (fun () ->
+          let run tier =
+            Interval.with_tier tier (fun () ->
+                Memo.with_caches true (fun () -> Conj.is_sat (Conj.of_list atoms)))
+          in
+          run true = run false))
+
 let () =
   let qt = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "constr"
@@ -902,5 +1095,22 @@ let () =
             prop_simplify_equiv;
             prop_disjointify_equiv;
             prop_weaken_sound;
+          ] );
+      ( "integer-domain",
+        [
+          Alcotest.test_case "tightening rules" `Quick test_ztighten_rules;
+          Alcotest.test_case "Z satisfiability" `Quick test_zsat_basics;
+          Alcotest.test_case "solver.int counters" `Quick test_int_counters;
+          Alcotest.test_case "interval Z verdicts" `Quick test_interval_z_verdicts;
+          Alcotest.test_case "tier endpoints over Z" `Quick test_z_tier_endpoints;
+        ] );
+      ( "integer-properties",
+        qt
+          [
+            prop_ztighten_preserves_z_points;
+            prop_z_sound;
+            prop_omega_bb_agree;
+            prop_z_relaxation;
+            prop_z_tier_transparent;
           ] );
     ]

@@ -70,6 +70,26 @@ let test_oracles_linear () =
   check_bool "no failure" true (s.H.failure = None);
   check_bool "some cases evaluated" true (s.H.stats.H.evaluated > 0)
 
+let prop_int_well_formed =
+  QCheck.Test.make ~name:"int mode is still range-restricted" ~count:150 seed_arb
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p, _ = G.case rng (G.default G.Int) in
+      Program.check p = Ok () && Program.is_range_restricted p)
+
+let test_oracles_int () =
+  (* int mode runs every case under the ℤ domain (so the cache, parallel,
+     interval and compiled differentials double as ℤ-transparency checks)
+     plus the rational-relaxation coverage oracle *)
+  let s = H.run ~config:(G.default G.Int) ~seed:42 ~count:40 () in
+  check_bool "no failure" true (s.H.failure = None);
+  check_bool "some cases evaluated" true (s.H.stats.H.evaluated > 0);
+  check_bool "oracle checks happened" true (s.H.stats.H.checks > 0);
+  check_bool "relaxation oracle is addressable" true
+    (H.oracle_name H.Relaxation = "relaxation");
+  (* the run restores the caller's domain *)
+  check_bool "domain restored" true (Cql_constr.Cdomain.current () = Cql_constr.Cdomain.Q)
+
 (* ----- the interval-tier transparency oracle ----- *)
 
 let test_interval_tier_oracle () =
@@ -253,12 +273,17 @@ let () =
   Alcotest.run "fuzz"
     [
       ( "generator",
-        qt [ prop_case_well_formed; prop_decidable_in_class; prop_linear_well_formed ] );
+        qt
+          [
+            prop_case_well_formed; prop_decidable_in_class; prop_linear_well_formed;
+            prop_int_well_formed;
+          ] );
       ( "harness",
         [
           Alcotest.test_case "fixed-seed determinism" `Quick test_determinism;
           Alcotest.test_case "decidable mode, oracles pass" `Quick test_oracles_decidable;
           Alcotest.test_case "linear mode, oracles pass" `Quick test_oracles_linear;
+          Alcotest.test_case "int mode, oracles pass" `Quick test_oracles_int;
           Alcotest.test_case "interval tier transparency" `Quick test_interval_tier_oracle;
           Alcotest.test_case "injected bug caught and shrunk" `Quick test_injected_bug_caught;
           Alcotest.test_case "typed generator exhaustion" `Quick test_generate_exhausted;

@@ -125,6 +125,87 @@ let prop_gcd_divides =
       && B.is_zero (B.rem (B.of_int a) g)
       && B.is_zero (B.rem (B.of_int b) g))
 
+(* ----- Bigint word-boundary properties -----
+
+   The add/mul fast paths trigger below one limb (2^30) and divmod/gcd
+   below two limbs (2^60); [of_int min_int] has its own branch.  Draw
+   operands clustered on those boundaries and cross-check every result
+   against the same computation routed through the multi-limb code by
+   offsetting with 2^70 first. *)
+
+let boundary_values =
+  let b30 = 1 lsl 30 and b60 = 1 lsl 60 and b62 = 1 lsl 62 in
+  [
+    0; 1; -1; b30 - 1; b30; b30 + 1; -b30; -(b30 + 1); b60 - 1; b60; b60 + 1;
+    -b60; -(b60 + 1); b62; -b62; max_int; min_int; min_int + 1;
+  ]
+
+let boundary_int =
+  let n = List.length boundary_values in
+  QCheck.make
+    ~print:string_of_int
+    QCheck.Gen.(
+      frequency
+        [ (4, map (List.nth boundary_values) (int_bound (n - 1))); (1, int) ])
+
+(* the same value built without touching the native fast paths *)
+let big_offset = B.pow (B.of_int 2) 70
+let via_multilimb a = B.sub (B.add big_offset (B.of_int a)) big_offset
+
+let prop_boundary_roundtrip =
+  QCheck.Test.make ~name:"bigint of_int/to_int at word boundaries" ~count:300
+    boundary_int (fun a ->
+      let x = B.of_int a in
+      B.equal x (via_multilimb a) && B.to_int_opt x = Some a)
+
+let prop_boundary_add_sub =
+  QCheck.Test.make ~name:"bigint add/sub at word boundaries" ~count:500
+    (QCheck.pair boundary_int boundary_int) (fun (a, b) ->
+      let fast = B.add (B.of_int a) (B.of_int b) in
+      let slow = B.sub (B.add (B.add big_offset (B.of_int a)) (B.of_int b)) big_offset in
+      B.equal fast slow && B.equal (B.sub fast (B.of_int b)) (B.of_int a))
+
+let prop_boundary_mul =
+  QCheck.Test.make ~name:"bigint mul at word boundaries" ~count:500
+    (QCheck.pair boundary_int boundary_int) (fun (a, b) ->
+      (* (big + a) * b is computed by the general schoolbook product;
+         subtracting big * b must land exactly on the fast-path result *)
+      let fast = B.mul (B.of_int a) (B.of_int b) in
+      let slow =
+        B.sub
+          (B.mul (B.add big_offset (B.of_int a)) (B.of_int b))
+          (B.mul big_offset (B.of_int b))
+      in
+      B.equal fast slow)
+
+let prop_boundary_divmod =
+  QCheck.Test.make ~name:"bigint divmod at word boundaries" ~count:500
+    (QCheck.pair boundary_int boundary_int) (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      (* scaling both operands by 2^70 forces binary long division and
+         must preserve the quotient while scaling the remainder *)
+      let q', r' =
+        B.divmod (B.mul (B.of_int a) big_offset) (B.mul (B.of_int b) big_offset)
+      in
+      B.equal q q'
+      && B.equal r' (B.mul r big_offset)
+      && B.equal (B.add (B.mul q (B.of_int b)) r) (B.of_int a)
+      && B.compare (B.abs r) (B.abs (B.of_int b)) < 0)
+
+let prop_boundary_gcd =
+  QCheck.Test.make ~name:"bigint gcd at word boundaries" ~count:500
+    (QCheck.pair boundary_int boundary_int) (fun (a, b) ->
+      QCheck.assume (a <> 0 || b <> 0);
+      let g = B.gcd (B.of_int a) (B.of_int b) in
+      (* gcd(a*m, b*m) = gcd(a, b) * m with multi-limb operands *)
+      B.equal
+        (B.gcd (B.mul (B.of_int a) big_offset) (B.mul (B.of_int b) big_offset))
+        (B.mul g big_offset)
+      && B.sign g > 0
+      && B.is_zero (B.rem (B.of_int a) g)
+      && B.is_zero (B.rem (B.of_int b) g))
+
 (* ----- Rat unit tests ----- *)
 
 let q = Q.of_ints
@@ -201,6 +282,12 @@ let () =
         ] );
       ( "bigint-properties",
         qt [ prop_add; prop_mul; prop_divmod; prop_string_roundtrip; prop_gcd_divides ] );
+      ( "bigint-boundaries",
+        qt
+          [
+            prop_boundary_roundtrip; prop_boundary_add_sub; prop_boundary_mul;
+            prop_boundary_divmod; prop_boundary_gcd;
+          ] );
       ( "rat",
         [
           Alcotest.test_case "normalization" `Quick test_rat_normalization;

@@ -70,6 +70,54 @@ let test_json_accessors () =
   check_bool "to_list" true
     (Option.bind (Json.member "c" j) Json.to_list = Some [ Json.Int 1 ])
 
+let test_json_float_printing () =
+  (* shortest decimal that parses back to the same float — no %.12g
+     truncation (0.1 +. 0.2 must not echo as 0.3) *)
+  check_str "tenth" "0.1" (Json.to_string (Json.Float 0.1));
+  check_str "sum of tenths keeps the ulp" "0.30000000000000004"
+    (Json.to_string (Json.Float (0.1 +. 0.2)));
+  check_bool "and is not 0.3" true
+    (Json.to_string (Json.Float (0.1 +. 0.2)) <> Json.to_string (Json.Float 0.3));
+  (* integral floats inside the safe range keep the "x.0" form *)
+  check_str "integral float form" "3.0" (Json.to_string (Json.Float 3.0));
+  check_str "negative integral" "-2.0" (Json.to_string (Json.Float (-2.0)));
+  (* every float round-trips bit-exactly through print + parse *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) ->
+          check_bool (Printf.sprintf "roundtrip %h" f) true (Int64.bits_of_float g = Int64.bits_of_float f)
+      | Ok (Json.Int i) ->
+          (* huge integral floats may print in exponent-free integer form *)
+          check_bool (Printf.sprintf "roundtrip %h as int" f) true (float_of_int i = f)
+      | _ -> Alcotest.failf "roundtrip %h failed to parse" f)
+    [
+      0.1; 0.2; 0.1 +. 0.2; 1.5e3; 5e-324; 1.7976931348623157e308; 1e100;
+      9007199254740992.0; 9.007199254740993e15; 1.0 /. 3.0; -0.001;
+    ]
+
+let test_json_int_bounds () =
+  let two53 = 9007199254740992.0 in
+  check_bool "Int passes through" true (Json.to_int_checked (Json.Int max_int) = Ok max_int);
+  check_bool "integral float below 2^53" true
+    (Json.to_int_checked (Json.Float (two53 -. 1.0)) = Ok 9007199254740991);
+  check_bool "negative integral float below 2^53" true
+    (Json.to_int_checked (Json.Float (-.two53 +. 1.0)) = Ok (-9007199254740991));
+  (* at 2^53 doubles stop representing every integer: reject, don't round *)
+  check_bool "2^53 rejected" true
+    (Json.to_int_checked (Json.Float two53) = Error Json.Unsafe_integer);
+  check_bool "-2^53 rejected" true
+    (Json.to_int_checked (Json.Float (-.two53)) = Error Json.Unsafe_integer);
+  check_bool "beyond 2^53 rejected" true
+    (Json.to_int_checked (Json.Float 1e100) = Error Json.Unsafe_integer);
+  check_bool "fractional rejected" true
+    (Json.to_int_checked (Json.Float 2.5) = Error Json.Not_an_integer);
+  check_bool "non-number rejected" true
+    (Json.to_int_checked (Json.Str "7") = Error Json.Not_an_integer);
+  (* the option squash loses only the reason *)
+  check_bool "to_int squash ok" true (Json.to_int (Json.Float 7.0) = Some 7);
+  check_bool "to_int squash err" true (Json.to_int (Json.Float two53) = None)
+
 (* ----- framing ----- *)
 
 let string_reader ?max_frame s =
@@ -161,11 +209,35 @@ let test_request_of_json () =
   | _ -> Alcotest.fail "insert decoding");
   check_bool "insert needs facts" true
     (Result.is_error (decode {|{"op": "insert", "view": "v"}|}));
-  match decode {|{"op": "query", "view": "v"}|} with
+  (match decode {|{"op": "query", "view": "v"}|} with
   | Ok (Protocol.Query q) ->
       check_str "query view" "v" q.view;
       check_str "query default tenant" "anon" q.tenant
-  | _ -> Alcotest.fail "query decoding"
+  | _ -> Alcotest.fail "query decoding");
+  (* the constraint domain: absent means rationals, "int" selects ℤ *)
+  (match decode {|{"op": "eval", "program": "p(1)."}|} with
+  | Ok (Protocol.Eval e) -> check_bool "default domain" true (e.domain = Cql_constr.Cdomain.Q)
+  | _ -> Alcotest.fail "eval default domain");
+  (match decode {|{"op": "eval", "program": "p(1).", "domain": "int"}|} with
+  | Ok (Protocol.Eval e) -> check_bool "int domain" true (e.domain = Cql_constr.Cdomain.Z)
+  | _ -> Alcotest.fail "eval int domain");
+  (match decode {|{"op": "materialize", "view": "v", "program": "p(1).", "domain": "rat"}|} with
+  | Ok (Protocol.Materialize m) ->
+      check_bool "materialize rat domain" true (m.domain = Cql_constr.Cdomain.Q)
+  | _ -> Alcotest.fail "materialize domain");
+  check_bool "unknown domain rejected" true
+    (Result.is_error (decode {|{"op": "eval", "program": "p(1).", "domain": "mod7"}|}));
+  check_bool "non-string domain rejected" true
+    (Result.is_error (decode {|{"op": "eval", "program": "p(1).", "domain": 1}|}));
+  (* the request builders emit the field only when it is given *)
+  let built = Protocol.eval_request_json ~domain:Cql_constr.Cdomain.Z ~program:"p(1)." () in
+  check_bool "builder emits domain" true
+    (Json.member "domain" built = Some (Json.Str "int"));
+  let built_default = Protocol.eval_request_json ~program:"p(1)." () in
+  check_bool "builder omits default domain" true (Json.member "domain" built_default = None);
+  match Protocol.request_of_json built with
+  | Ok (Protocol.Eval e) -> check_bool "builder roundtrip" true (e.domain = Cql_constr.Cdomain.Z)
+  | _ -> Alcotest.fail "builder roundtrip"
 
 (* ----- plan cache ----- *)
 
@@ -181,11 +253,14 @@ let dummy_plan pipeline =
 
 let test_plan_cache_lru () =
   let c = Plan_cache.create ~max_entries:2 in
-  let k p = Plan_cache.key ~pipeline:"none" ~source:p in
+  let k p = Plan_cache.key ~pipeline:"none" ~domain:Cql_constr.Cdomain.Q ~source:p in
   check_bool "distinct sources, distinct keys" true (k "a" <> k "b");
   check_bool "pipeline part of the key" true
-    (Plan_cache.key ~pipeline:"none" ~source:"a"
-    <> Plan_cache.key ~pipeline:"optimal" ~source:"a");
+    (Plan_cache.key ~pipeline:"none" ~domain:Cql_constr.Cdomain.Q ~source:"a"
+    <> Plan_cache.key ~pipeline:"optimal" ~domain:Cql_constr.Cdomain.Q ~source:"a");
+  check_bool "domain part of the key" true
+    (Plan_cache.key ~pipeline:"none" ~domain:Cql_constr.Cdomain.Q ~source:"a"
+    <> Plan_cache.key ~pipeline:"none" ~domain:Cql_constr.Cdomain.Z ~source:"a");
   let s0 = Plan_cache.stats c in
   check_bool "cold miss" true (Plan_cache.find c (k "a") = None);
   Plan_cache.add c (k "a") (dummy_plan "none");
@@ -643,6 +718,8 @@ let () =
           Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
           Alcotest.test_case "parse errors" `Quick test_json_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "float printing" `Quick test_json_float_printing;
+          Alcotest.test_case "integer bounds" `Quick test_json_int_bounds;
         ] );
       ( "framing",
         [
